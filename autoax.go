@@ -1,0 +1,201 @@
+// Package autoax is a Go reproduction of "autoAx: An Automatic Design
+// Space Exploration and Circuit Building Methodology utilizing Libraries of
+// Approximate Components" (Mrazek et al., DAC 2019).
+//
+// The package is the public facade over the implementation: it re-exports
+// the types and constructors needed to run the full methodology —
+//
+//	lib, _ := autoax.BuildLibrary([]autoax.LibrarySpec{
+//		{Op: autoax.OpAdd(8), Count: 200},
+//		{Op: autoax.OpSub(10), Count: 100},
+//		{Op: autoax.OpAdd(9), Count: 120},
+//	}, 1)
+//	images := autoax.BenchmarkImages(4, 96, 64, 7)
+//	pipe, _ := autoax.NewPipeline(autoax.Sobel(), lib, images, autoax.DefaultConfig())
+//	_ = pipe.Run()
+//	cfgs, results := pipe.FrontResults()
+//
+// — and to define custom accelerators (see examples/customaccel).
+//
+// Subsystem map (all under internal/, surfaced through this facade):
+//
+//	netlist, cell      gate-level IR, bit-parallel simulation, synthesis-
+//	                   style optimization, 45 nm cost model
+//	arith, approxgen   exact and approximate circuit generators
+//	acl, pmf           component library, characterization, WMED scoring
+//	accel, apps        accelerator graphs, the three case studies
+//	ml, mat            the 13 regression engines of Table 3
+//	dse, pareto        Algorithm 1, baselines, Pareto utilities
+//	core               the three-step methodology pipeline
+//	expt               drivers regenerating every paper table and figure
+package autoax
+
+import (
+	"io"
+
+	"autoax/internal/accel"
+	"autoax/internal/acl"
+	"autoax/internal/apps"
+	"autoax/internal/core"
+	"autoax/internal/dse"
+	"autoax/internal/expt"
+	"autoax/internal/imagedata"
+	"autoax/internal/ml"
+	"autoax/internal/pareto"
+	"autoax/internal/ssim"
+)
+
+// Re-exported core types.
+type (
+	// Library is a collection of characterized approximate circuits
+	// grouped per operation instance.
+	Library = acl.Library
+	// LibrarySpec requests circuits for one operation instance.
+	LibrarySpec = acl.BuildSpec
+	// Circuit is one characterized approximate component.
+	Circuit = acl.Circuit
+	// Op identifies an operation instance (class + bit width).
+	Op = acl.Op
+	// Image is an 8-bit grayscale image.
+	Image = imagedata.Image
+	// ImageApp couples an accelerator graph with its image workload.
+	ImageApp = accel.ImageApp
+	// Graph is an accelerator dataflow graph.
+	Graph = accel.Graph
+	// WindowTap binds a graph input to a 3×3 window position.
+	WindowTap = accel.WindowTap
+	// Configuration assigns one library circuit to every operation.
+	Configuration = accel.Configuration
+	// Result is the precise evaluation of a configuration.
+	Result = accel.Result
+	// Evaluator performs precise QoR/hardware evaluation.
+	Evaluator = accel.Evaluator
+	// Pipeline runs the three-step autoAx methodology.
+	Pipeline = core.Pipeline
+	// Config sets the methodology budgets.
+	Config = core.Config
+	// Space is the reduced configuration space (one library per op).
+	Space = dse.Space
+	// SearchOptions parameterizes the DSE searches.
+	SearchOptions = dse.SearchOptions
+	// EngineSpec names an ML engine constructor.
+	EngineSpec = ml.EngineSpec
+	// Regressor is the supervised-learning interface.
+	Regressor = ml.Regressor
+	// Point is a minimized objective vector.
+	Point = pareto.Point
+)
+
+// OpAdd returns the n-bit adder operation instance.
+func OpAdd(n int) Op { return Op{Kind: acl.Add, Width: n} }
+
+// OpSub returns the n-bit subtractor operation instance.
+func OpSub(n int) Op { return Op{Kind: acl.Sub, Width: n} }
+
+// OpMul returns the n-bit multiplier operation instance.
+func OpMul(n int) Op { return Op{Kind: acl.Mul, Width: n} }
+
+// BuildLibrary generates, characterizes and deduplicates approximate
+// circuits for every spec (deterministic in seed).
+func BuildLibrary(specs []LibrarySpec, seed int64) (*Library, error) {
+	return acl.Build(specs, seed, acl.Options{Seed: seed})
+}
+
+// LoadLibrary reads a library saved with Library.SaveFile.
+func LoadLibrary(path string) (*Library, error) { return acl.LoadFile(path) }
+
+// BenchmarkImages generates n synthetic natural-statistics benchmark
+// images of size w×h (deterministic in seed).
+func BenchmarkImages(n, w, h int, seed int64) []*Image {
+	return imagedata.BenchmarkSet(n, w, h, seed)
+}
+
+// LoadPNG reads a PNG file as 8-bit grayscale.
+func LoadPNG(path string) (*Image, error) { return imagedata.LoadPNG(path) }
+
+// The three case-study accelerators of the paper (Table 1 / Figure 2).
+var (
+	// Sobel returns the Sobel edge detector (5 operations).
+	Sobel = apps.Sobel
+	// FixedGF returns the fixed-coefficient Gaussian filter (11 operations).
+	FixedGF = apps.FixedGF
+	// GenericGF returns the generic Gaussian filter (17 operations) over
+	// the given coefficient kernels.
+	GenericGF = apps.GenericGF
+	// GenericGFKernels returns n Gaussian kernels with σ ∈ [0.3, 0.8].
+	GenericGFKernels = apps.GenericGFKernels
+)
+
+// NewGraph starts a custom accelerator dataflow graph.
+func NewGraph(name string) *Graph { return accel.NewGraph(name) }
+
+// NewEvaluator prepares precise evaluation of configurations for an app.
+func NewEvaluator(app *ImageApp, images []*Image) (*Evaluator, error) {
+	return accel.NewEvaluator(app, images)
+}
+
+// NewPipeline prepares a methodology run for an app.
+func NewPipeline(app *ImageApp, lib *Library, images []*Image, cfg Config) (*Pipeline, error) {
+	return core.NewPipeline(app, lib, images, cfg)
+}
+
+// DefaultConfig returns paper-like methodology budgets.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Engines lists the Table 3 learning engines.
+func Engines() []EngineSpec { return ml.Engines() }
+
+// EngineByName looks up one Table 3 engine.
+func EngineByName(name string) (EngineSpec, error) { return ml.EngineByName(name) }
+
+// HillClimb runs the paper's Algorithm 1 over a reduced space with an
+// estimator derived from trained models (see Pipeline for the integrated
+// flow).
+var HillClimb = dse.HillClimb
+
+// RandomSearch runs the random-sampling baseline.
+var RandomSearch = dse.RandomSearch
+
+// UniformSelection runs the paper's manual uniform-error baseline.
+var UniformSelection = dse.UniformSelection
+
+// BuildTrainingData converts precisely evaluated configurations into the
+// QoR and hardware learning problems (WMED features → SSIM,
+// area/power/delay features → area).
+var BuildTrainingData = dse.BuildTrainingData
+
+// Fidelity returns the fraction of sample pairs ordered identically by
+// predictions and ground truth — the paper's model-quality criterion.
+var Fidelity = ml.Fidelity
+
+// PredictAll applies a regressor to every feature row.
+var PredictAll = ml.PredictAll
+
+// FrontDistances measures normalized distances between two Pareto fronts
+// (the Table 4 metrics).
+var FrontDistances = pareto.FrontDistances
+
+// SSIM is the structural similarity index — the paper's QoR metric and
+// the default Evaluator.Metric.
+var SSIM = ssim.SSIM
+
+// PSNR is the peak signal-to-noise ratio (dB), the alternative QoR metric
+// the paper mentions; assign it to Evaluator.Metric to optimize for it.
+var PSNR = ssim.PSNR
+
+// Experiment scales for RunExperiments.
+const (
+	ScaleTiny  = expt.ScaleTiny
+	ScaleSmall = expt.ScaleSmall
+	ScalePaper = expt.ScalePaper
+)
+
+// RunExperiments regenerates every paper table and figure at the given
+// scale, writing text output to w and CSV series to outDir (when set).
+func RunExperiments(w io.Writer, scale string, seed int64, outDir string) error {
+	sc, err := expt.ParseScale(scale)
+	if err != nil {
+		return err
+	}
+	return expt.RunAll(w, expt.Setup{Scale: sc, Seed: seed, OutDir: outDir})
+}

@@ -1,0 +1,120 @@
+package autoax_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"autoax"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart flow end to
+// end through the facade only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	lib, err := autoax.BuildLibrary([]autoax.LibrarySpec{
+		{Op: autoax.OpAdd(8), Count: 30},
+		{Op: autoax.OpAdd(9), Count: 30},
+		{Op: autoax.OpSub(10), Count: 25},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.Size() == 0 {
+		t.Fatal("empty library")
+	}
+	images := autoax.BenchmarkImages(2, 32, 24, 7)
+	pipe, err := autoax.NewPipeline(autoax.Sobel(), lib, images, autoax.Config{
+		TrainConfigs: 50, TestConfigs: 30, SearchEvals: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Run(); err != nil {
+		t.Fatal(err)
+	}
+	cfgs, res := pipe.FrontResults()
+	if len(cfgs) == 0 || len(cfgs) != len(res) {
+		t.Fatalf("front: %d cfgs, %d results", len(cfgs), len(res))
+	}
+	for _, r := range res {
+		if r.SSIM < -1 || r.SSIM > 1 || r.Area < 0 {
+			t.Errorf("implausible result %+v", r)
+		}
+	}
+}
+
+// TestPublicAPILibraryRoundTrip saves and reloads a library through the
+// facade.
+func TestPublicAPILibraryRoundTrip(t *testing.T) {
+	lib, err := autoax.BuildLibrary([]autoax.LibrarySpec{{Op: autoax.OpMul(4), Count: 10}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := lib.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := autoax.LoadLibrary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != lib.Size() {
+		t.Fatalf("round trip size %d != %d", got.Size(), lib.Size())
+	}
+}
+
+// TestPublicAPICustomGraph builds a custom accelerator via the facade and
+// verifies precise evaluation of an exact configuration scores SSIM 1.
+func TestPublicAPICustomGraph(t *testing.T) {
+	g := autoax.NewGraph("double")
+	a := g.Input("a", 8)
+	sum := g.Add("add", 8, a, a)
+	g.Output(g.Clamp("sat", sum, 8))
+	app := &autoax.ImageApp{
+		Name:  "double",
+		Graph: g,
+		Taps:  []autoax.WindowTap{{DX: 0, DY: 0}},
+		Sims:  [][]uint64{{}},
+	}
+	lib, err := autoax.BuildLibrary([]autoax.LibrarySpec{{Op: autoax.OpAdd(8), Count: 15}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := autoax.BenchmarkImages(1, 16, 16, 3)
+	ev, err := autoax.NewEvaluator(app, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an exact circuit in the library.
+	var exact *autoax.Circuit
+	for _, c := range lib.For(autoax.OpAdd(8)) {
+		if c.IsExact() {
+			exact = c
+			break
+		}
+	}
+	if exact == nil {
+		t.Fatal("no exact adder in library")
+	}
+	res, err := ev.Evaluate(autoax.Configuration{exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.SSIM-1) > 1e-12 {
+		t.Errorf("exact custom accelerator SSIM = %f", res.SSIM)
+	}
+}
+
+// TestPublicAPIEngines sanity-checks the engine registry and the fidelity
+// helper exposure.
+func TestPublicAPIEngines(t *testing.T) {
+	if len(autoax.Engines()) != 13 {
+		t.Errorf("got %d engines, want 13", len(autoax.Engines()))
+	}
+	if _, err := autoax.EngineByName("Random Forest"); err != nil {
+		t.Error(err)
+	}
+	if f := autoax.Fidelity([]float64{1, 2, 3}, []float64{10, 20, 30}); f != 1 {
+		t.Errorf("fidelity = %f", f)
+	}
+}

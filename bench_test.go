@@ -1,0 +1,262 @@
+package autoax_test
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus micro-benchmarks for the load-bearing substrates.
+//
+// The experiment benchmarks default to the "tiny" scale so the whole
+// suite stays fast; set AUTOAX_BENCH_SCALE=small (minutes) or =paper
+// (hours) to regenerate shape-accurate results:
+//
+//	AUTOAX_BENCH_SCALE=small go test -bench 'Table|Figure' -benchmem .
+//
+// Experiment products (library, pipelines) are cached per scale inside
+// the process, so a full -bench=. run shares the expensive work.
+
+import (
+	"io"
+	"os"
+	"testing"
+
+	"autoax"
+	"autoax/internal/accel"
+	"autoax/internal/acl"
+	"autoax/internal/apps"
+	"autoax/internal/arith"
+	"autoax/internal/dse"
+	"autoax/internal/expt"
+	"autoax/internal/imagedata"
+	"autoax/internal/ml"
+	"autoax/internal/netlist"
+	"autoax/internal/ssim"
+)
+
+func benchSetup(b *testing.B) expt.Setup {
+	scale := expt.ScaleTiny
+	if env := os.Getenv("AUTOAX_BENCH_SCALE"); env != "" {
+		s, err := expt.ParseScale(env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scale = s
+	}
+	return expt.Setup{Scale: scale, Seed: 1}
+}
+
+func benchDriver(b *testing.B, fn func(io.Writer, expt.Setup) error) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the accelerator operation counts.
+func BenchmarkTable1(b *testing.B) { benchDriver(b, expt.Table1) }
+
+// BenchmarkTable2 regenerates the library-size table (builds and
+// characterizes the full approximate-component library on first run).
+func BenchmarkTable2(b *testing.B) { benchDriver(b, expt.Table2) }
+
+// BenchmarkFigure3 regenerates the Sobel operand-PMF heat maps.
+func BenchmarkFigure3(b *testing.B) { benchDriver(b, expt.Figure3) }
+
+// BenchmarkTable3 regenerates the learning-engine fidelity comparison
+// (fits all 13 engines twice each on the Sobel samples).
+func BenchmarkTable3(b *testing.B) { benchDriver(b, expt.Table3) }
+
+// BenchmarkFigure4 regenerates the estimated-vs-real-area correlation.
+func BenchmarkFigure4(b *testing.B) { benchDriver(b, expt.Figure4) }
+
+// BenchmarkTable4 regenerates the search-quality comparison, including
+// the exhaustive optimal front in estimator space.
+func BenchmarkTable4(b *testing.B) { benchDriver(b, expt.Table4) }
+
+// BenchmarkTable5 regenerates the design-space-size table (runs the full
+// methodology on all three accelerators on first use; cached afterwards).
+func BenchmarkTable5(b *testing.B) { benchDriver(b, expt.Table5) }
+
+// BenchmarkFigure5 regenerates the Pareto-front comparison (proposed vs
+// random sampling vs uniform selection on all three accelerators).
+func BenchmarkFigure5(b *testing.B) { benchDriver(b, expt.Figure5) }
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+// BenchmarkNetlistEval measures bit-parallel netlist simulation: one call
+// evaluates 64 input vectors through an exact 8×8 Dadda multiplier.
+func BenchmarkNetlistEval(b *testing.B) {
+	nl := arith.NewDaddaMultiplier(8)
+	ev := netlist.NewEvaluator(nl)
+	in := make([]uint64, nl.NumInputs)
+	for i := range in {
+		in[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Eval(in)
+	}
+}
+
+// BenchmarkSimplify measures the synthesis-style optimization pass on a
+// flattened Sobel accelerator (the per-configuration synthesis cost).
+func BenchmarkSimplify(b *testing.B) {
+	app := apps.Sobel()
+	cfg, err := accel.ExactConfiguration(app.Graph, acl.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	flat, err := accel.Flatten(app.Graph, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		netlist.Simplify(flat)
+	}
+}
+
+// BenchmarkCharacterize measures full exhaustive characterization of one
+// 8-bit approximate adder (error metrics + synthesis + activity energy).
+func BenchmarkCharacterize(b *testing.B) {
+	nl := arith.NewRippleCarryAdder(8)
+	op := acl.Op{Kind: acl.Add, Width: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := acl.Characterize(nl, op, "exact", acl.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPreciseEvaluation measures one full precise configuration
+// analysis (flatten, synthesize, simulate over images, SSIM) — the paper's
+// "10 s per configuration" step, here on the Sobel detector.
+func BenchmarkPreciseEvaluation(b *testing.B) {
+	app := apps.Sobel()
+	images := imagedata.BenchmarkSet(2, 64, 48, 1)
+	ev, err := accel.NewEvaluator(app, images)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := accel.ExactConfiguration(app.Graph, acl.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Evaluate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelEstimate measures one model-based configuration estimate —
+// the paper's "0.01 s per configuration" counterpart (random forest, both
+// models).
+func BenchmarkModelEstimate(b *testing.B) {
+	s := benchSetup(b)
+	pipe, err := s.Pipeline("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := pipe.Models.Estimator()
+	cfg := make([]int, len(pipe.Space))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg[0] = i % len(pipe.Space[0])
+		est(cfg)
+	}
+}
+
+// BenchmarkHillClimb1k measures 1000 iterations of Algorithm 1 over the
+// Sobel reduced space with trained models.
+func BenchmarkHillClimb1k(b *testing.B) {
+	s := benchSetup(b)
+	pipe, err := s.Pipeline("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := pipe.Models.Estimator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dse.HillClimb(pipe.Space, est, dse.SearchOptions{Evaluations: 1000, Seed: int64(i)})
+	}
+}
+
+// BenchmarkSSIM measures the integral-image SSIM on 96×64 images.
+func BenchmarkSSIM(b *testing.B) {
+	x := imagedata.Synthetic(96, 64, 1)
+	y := imagedata.Synthetic(96, 64, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ssim.SSIM(x, y)
+	}
+}
+
+// BenchmarkRandomForestFit measures fitting the paper's winning engine on
+// a Table 3-sized problem (1500 × 5 features).
+func BenchmarkRandomForestFit(b *testing.B) {
+	x := make([][]float64, 1500)
+	y := make([]float64, len(x))
+	rng := uint64(1)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>40) / float64(1<<24)
+	}
+	for i := range x {
+		row := make([]float64, 5)
+		s := 0.0
+		for j := range row {
+			row[j] = next() * 100
+			s += row[j]
+		}
+		x[i] = row
+		y[i] = 1 / (1 + s/100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rf := ml.NewRandomForest(100, int64(i))
+		if err := rf.Fit(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfile measures PMF extraction (the paper's profiler) on the
+// Sobel detector over two benchmark images.
+func BenchmarkProfile(b *testing.B) {
+	app := apps.Sobel()
+	images := imagedata.BenchmarkSet(2, 64, 48, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Profile(images)
+	}
+}
+
+// BenchmarkEndToEndQuickstart measures the complete methodology on a small
+// Sobel instance through the public facade.
+func BenchmarkEndToEndQuickstart(b *testing.B) {
+	lib, err := autoax.BuildLibrary([]autoax.LibrarySpec{
+		{Op: autoax.OpAdd(8), Count: 30},
+		{Op: autoax.OpAdd(9), Count: 30},
+		{Op: autoax.OpSub(10), Count: 25},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	images := autoax.BenchmarkImages(2, 32, 24, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe, err := autoax.NewPipeline(autoax.Sobel(), lib, images, autoax.Config{
+			TrainConfigs: 40, TestConfigs: 25, SearchEvals: 2000, Seed: int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pipe.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

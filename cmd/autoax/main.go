@@ -1,0 +1,204 @@
+// Command autoax regenerates the tables and figures of the autoAx paper
+// (Mrazek et al., DAC 2019) and provides library-management utilities.
+//
+// Usage:
+//
+//	autoax [flags] <command>
+//
+// Commands:
+//
+//	table1 table2 table3 table4 table5   one table each
+//	figure3 figure4 figure5              one figure each
+//	all                                  everything, paper order
+//	library                              build the component library and
+//	                                     save it to -lib
+//	pipeline <app>                       run the methodology on one app
+//	                                     (sobel, fixedgf, genericgf) and
+//	                                     print its final Pareto front
+//
+// Flags:
+//
+//	-scale tiny|small|paper   experiment size (default small)
+//	-seed N                   master random seed (default 1)
+//	-out DIR                  CSV output directory (default results)
+//	-lib FILE                 library JSON path for the library command
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"path/filepath"
+
+	"autoax/internal/acl"
+	"autoax/internal/expt"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "experiment scale: tiny, small or paper")
+	seed := flag.Int64("seed", 1, "master random seed")
+	out := flag.String("out", "results", "CSV output directory (empty to disable)")
+	libPath := flag.String("lib", "library.json", "library file for the library command")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	sc, err := expt.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	s := expt.Setup{Scale: sc, Seed: *seed, OutDir: *out}
+	w := os.Stdout
+
+	start := time.Now()
+	switch cmd := flag.Arg(0); cmd {
+	case "table1":
+		err = expt.Table1(w, s)
+	case "table2":
+		err = expt.Table2(w, s)
+	case "table3":
+		err = expt.Table3(w, s)
+	case "table4":
+		err = expt.Table4(w, s)
+	case "table5":
+		err = expt.Table5(w, s)
+	case "figure3":
+		err = expt.Figure3(w, s)
+	case "figure4":
+		err = expt.Figure4(w, s)
+	case "figure5":
+		err = expt.Figure5(w, s)
+	case "ablation":
+		if err = expt.AblationQoRFeatures(w, s); err == nil {
+			if err = expt.AblationHWFeatures(w, s); err == nil {
+				err = expt.AblationStagnation(w, s)
+			}
+		}
+	case "all":
+		err = expt.RunAll(w, s)
+	case "library":
+		var lib interface {
+			SaveFile(string) error
+			Size() int
+		}
+		lib, err = s.Library()
+		if err == nil {
+			err = lib.SaveFile(*libPath)
+			if err == nil {
+				fmt.Fprintf(w, "library with %d circuits written to %s\n", lib.Size(), *libPath)
+			}
+		}
+	case "pipeline":
+		if flag.NArg() < 2 {
+			fatal(fmt.Errorf("pipeline needs an app name (sobel, fixedgf, genericgf)"))
+		}
+		err = runPipeline(s, flag.Arg(1))
+	case "export":
+		if flag.NArg() < 2 {
+			fatal(fmt.Errorf("export needs an operation instance (e.g. add8, mul8)"))
+		}
+		err = runExport(s, flag.Arg(1), *out)
+	default:
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runPipeline(s expt.Setup, app string) error {
+	pipe, err := s.Pipeline(app)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("app %s: reduced space %.3g configurations, model fidelity QoR %.0f%% / HW %.0f%%\n",
+		app, pipe.Space.NumConfigs(), 100*pipe.QoRFidelity, 100*pipe.HWFidelity)
+	fmt.Printf("pseudo Pareto %d configurations → final front %d\n", pipe.Pseudo.Len(), len(pipe.FinalFront))
+	cfgs, res := pipe.FrontResults()
+	fmt.Println("  SSIM     area(µm²)  energy(fJ)  configuration")
+	for i, r := range res {
+		fmt.Printf("  %.5f  %9.1f  %10.1f  %v\n", r.SSIM, r.Area, r.Energy, cfgs[i])
+	}
+	return nil
+}
+
+func runExport(s expt.Setup, opName, outDir string) error {
+	op, err := acl.ParseOp(opName)
+	if err != nil {
+		return err
+	}
+	lib, err := s.Library()
+	if err != nil {
+		return err
+	}
+	circuits := lib.For(op)
+	if len(circuits) == 0 {
+		return fmt.Errorf("library has no %s circuits", op)
+	}
+	dir := filepath.Join(outDir, "verilog", op.String())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, c := range circuits {
+		path := filepath.Join(dir, fileSafe(c.Name)+".v")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = c.Netlist.WriteVerilog(f, "")
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d Verilog modules to %s\n", len(circuits), dir)
+	return nil
+}
+
+// fileSafe reduces a circuit name to a portable file name.
+func fileSafe(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `autoax — reproduction of the autoAx DAC'19 methodology
+
+usage: autoax [flags] <command>
+
+commands:
+  table1 table2 table3 table4 table5    regenerate one paper table
+  figure3 figure4 figure5               regenerate one paper figure
+  ablation                              feature/threshold ablation studies
+  all                                   everything in paper order
+  library                               build + save the component library
+  pipeline <sobel|fixedgf|genericgf>    run the methodology on one app
+  export <op>                           write the op's library circuits as
+                                        structural Verilog (e.g. export mul8)
+
+flags:
+`)
+	flag.PrintDefaults()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autoax:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,288 @@
+package accel
+
+import (
+	"fmt"
+
+	"autoax/internal/imagedata"
+	"autoax/internal/netlist"
+	"autoax/internal/pmf"
+	"autoax/internal/ssim"
+)
+
+// WindowTap binds one 8-bit graph input to a 3×3 sliding-window position
+// (dx, dy ∈ {−1, 0, 1} relative to the output pixel).
+type WindowTap struct{ DX, DY int }
+
+// ImageApp couples an accelerator graph with its image workload: the first
+// len(Taps) graph inputs receive window pixels; the remaining inputs
+// receive per-simulation values (e.g. filter coefficients) from Sims.
+// Every (simulation, image) pair produces one output image compared
+// against the exact software model by SSIM — the paper's QoR.
+type ImageApp struct {
+	Name  string
+	Graph *Graph
+	Taps  []WindowTap
+	// Sims lists the values of the non-window inputs for each simulation
+	// run; use a single empty entry for apps without extra inputs.
+	Sims [][]uint64
+}
+
+// Validate checks the app's input binding against its graph.
+func (app *ImageApp) Validate() error {
+	if err := app.Graph.Validate(); err != nil {
+		return err
+	}
+	if len(app.Sims) == 0 {
+		return fmt.Errorf("accel: app %s has no simulations", app.Name)
+	}
+	extra := len(app.Graph.Inputs) - len(app.Taps)
+	if extra < 0 {
+		return fmt.Errorf("accel: app %s has more taps than graph inputs", app.Name)
+	}
+	for i, sim := range app.Sims {
+		if len(sim) != extra {
+			return fmt.Errorf("accel: app %s sim %d has %d values, want %d", app.Name, i, len(sim), extra)
+		}
+	}
+	for i := range app.Taps {
+		if w := app.Graph.Nodes[app.Graph.Inputs[i]].Width; w != 8 {
+			return fmt.Errorf("accel: app %s tap input %d must be 8-bit, got %d", app.Name, i, w)
+		}
+	}
+	if len(app.Graph.Outputs) != 1 || app.Graph.Nodes[app.Graph.Outputs[0]].Width != 8 {
+		return fmt.Errorf("accel: app %s must have one 8-bit output", app.Name)
+	}
+	return nil
+}
+
+// inputVector fills dst with the exact-model inputs for pixel (x, y) of im
+// under simulation sim.
+func (app *ImageApp) inputVector(im *imagedata.Image, sim []uint64, x, y int, dst []uint64) {
+	for t, tap := range app.Taps {
+		dst[t] = uint64(im.AtClamped(x+tap.DX, y+tap.DY))
+	}
+	copy(dst[len(app.Taps):], sim)
+}
+
+// ExactOutput runs the exact software model over one image for one
+// simulation, producing the reference output image.
+func (app *ImageApp) ExactOutput(im *imagedata.Image, sim []uint64) *imagedata.Image {
+	out := imagedata.New(im.W, im.H)
+	in := make([]uint64, len(app.Graph.Inputs))
+	scratch := make([]uint64, len(app.Graph.Nodes))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			app.inputVector(im, sim, x, y, in)
+			r := app.Graph.evalExact(in, scratch, nil)
+			out.Set(x, y, uint8(r[0]))
+		}
+	}
+	return out
+}
+
+// Profile runs the exact model over all images and simulations, collecting
+// the joint operand PMF of every operation node (paper §2.2 / Figure 3).
+// The returned slice follows Graph.OpNodes order and is normalized.
+func (app *ImageApp) Profile(images []*imagedata.Image) []*pmf.PMF {
+	ops := app.Graph.OpNodes()
+	pmfs := make([]*pmf.PMF, len(ops))
+	for i, id := range ops {
+		w := app.Graph.Nodes[id].Op.Width
+		pmfs[i] = pmf.New(w, w)
+	}
+	in := make([]uint64, len(app.Graph.Inputs))
+	scratch := make([]uint64, len(app.Graph.Nodes))
+	trace := func(opIdx int, a, b uint64) {
+		pmfs[opIdx].Add(a, b, 1)
+	}
+	for _, sim := range app.Sims {
+		for _, im := range images {
+			for y := 0; y < im.H; y++ {
+				for x := 0; x < im.W; x++ {
+					app.inputVector(im, sim, x, y, in)
+					app.Graph.evalExact(in, scratch, trace)
+				}
+			}
+		}
+	}
+	for _, p := range pmfs {
+		p.Normalize()
+	}
+	return pmfs
+}
+
+// Result holds the precise evaluation of one configuration: QoR by
+// simulation plus hardware cost by synthesis — the quantities the paper's
+// final Pareto front is built from.
+type Result struct {
+	SSIM   float64
+	Area   float64 // µm²
+	Delay  float64 // ns
+	Power  float64 // µW
+	Energy float64 // fJ per output pixel
+	Gates  int
+}
+
+// Evaluator performs precise (simulation + synthesis) evaluation of
+// configurations for one app over a fixed benchmark image set.  Exact
+// reference outputs and packed input bit-planes are computed once and
+// reused across configurations.  Not safe for concurrent use.
+type Evaluator struct {
+	App    *ImageApp
+	Images []*imagedata.Image
+
+	exact     [][]*imagedata.Image // [sim][image]
+	planes    [][][]uint64         // [image][batch][tapBitPlane]
+	laneCount [][]int              // [image][batch]
+	simPlanes [][]uint64           // [sim][extraBitPlane] broadcast words
+
+	headBits int // number of tap bit-planes
+	inBuf    []uint64
+	outVals  [64]uint64
+
+	// ActivityBatches bounds the batches used for switching-activity
+	// estimation when computing power/energy.
+	ActivityBatches int
+
+	// Metric scores an approximate output image against the exact
+	// reference (higher = better).  Defaults to SSIM, the paper's QoR;
+	// ssim.PSNR is the drop-in alternative the paper mentions.
+	Metric func(exact, approx *imagedata.Image) float64
+}
+
+// NewEvaluator validates the app and precomputes exact references and
+// packed inputs.
+func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if len(images) == 0 {
+		return nil, fmt.Errorf("accel: evaluator needs at least one image")
+	}
+	for _, im := range images {
+		if im.W < ssim.WindowSize || im.H < ssim.WindowSize {
+			return nil, fmt.Errorf("accel: image %dx%d smaller than the SSIM window", im.W, im.H)
+		}
+	}
+	e := &Evaluator{App: app, Images: images, ActivityBatches: 16, Metric: ssim.SSIM}
+	e.headBits = 8 * len(app.Taps)
+
+	// Exact references.
+	e.exact = make([][]*imagedata.Image, len(app.Sims))
+	for si, sim := range app.Sims {
+		e.exact[si] = make([]*imagedata.Image, len(images))
+		for ii, im := range images {
+			e.exact[si][ii] = app.ExactOutput(im, sim)
+		}
+	}
+
+	// Window bit-planes per image, 64 pixels per batch, row-major.
+	vals := make([]uint64, 64)
+	e.planes = make([][][]uint64, len(images))
+	e.laneCount = make([][]int, len(images))
+	for ii, im := range images {
+		total := im.W * im.H
+		nb := (total + 63) / 64
+		e.planes[ii] = make([][]uint64, nb)
+		e.laneCount[ii] = make([]int, nb)
+		for b := 0; b < nb; b++ {
+			base := b * 64
+			lanes := total - base
+			if lanes > 64 {
+				lanes = 64
+			}
+			plane := make([]uint64, e.headBits)
+			for t, tap := range app.Taps {
+				for l := 0; l < lanes; l++ {
+					p := base + l
+					vals[l] = uint64(im.AtClamped(p%im.W+tap.DX, p/im.W+tap.DY))
+				}
+				netlist.PackBits(vals[:lanes], 8, plane[8*t:8*t+8])
+			}
+			e.planes[ii][b] = plane
+			e.laneCount[ii][b] = lanes
+		}
+	}
+
+	// Broadcast planes for the extra (per-simulation) inputs.
+	extraIDs := app.Graph.Inputs[len(app.Taps):]
+	e.simPlanes = make([][]uint64, len(app.Sims))
+	for si, sim := range app.Sims {
+		var plane []uint64
+		for xi, id := range extraIDs {
+			w := app.Graph.Nodes[id].Width
+			for k := 0; k < w; k++ {
+				if sim[xi]>>uint(k)&1 != 0 {
+					plane = append(plane, ^uint64(0))
+				} else {
+					plane = append(plane, 0)
+				}
+			}
+		}
+		e.simPlanes[si] = plane
+	}
+	totalIn := e.headBits + len(e.simPlanes[0])
+	e.inBuf = make([]uint64, totalIn)
+	return e, nil
+}
+
+// Synthesize flattens and simplifies cfg's netlist: the accelerator-level
+// synthesis step.
+func (e *Evaluator) Synthesize(cfg Configuration) (*netlist.Netlist, error) {
+	flat, err := Flatten(e.App.Graph, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return netlist.Simplify(flat), nil
+}
+
+// Evaluate performs the full precise analysis of one configuration:
+// synthesis for hardware cost, bit-parallel netlist simulation over every
+// (simulation, image) pair for QoR.
+func (e *Evaluator) Evaluate(cfg Configuration) (Result, error) {
+	simp, err := e.Synthesize(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	nev := netlist.NewEvaluator(simp)
+
+	var ssimTotal float64
+	var activity [][]uint64
+	var activityLanes []int
+	for si := range e.App.Sims {
+		copy(e.inBuf[e.headBits:], e.simPlanes[si])
+		for ii, im := range e.Images {
+			out := imagedata.New(im.W, im.H)
+			for b, plane := range e.planes[ii] {
+				copy(e.inBuf[:e.headBits], plane)
+				res := nev.Eval(e.inBuf)
+				lanes := e.laneCount[ii][b]
+				netlist.UnpackBits(res, lanes, e.outVals[:])
+				base := b * 64
+				for l := 0; l < lanes; l++ {
+					out.Pix[base+l] = uint8(e.outVals[l])
+				}
+				if si == 0 && ii == 0 && len(activity) < e.ActivityBatches {
+					activity = append(activity, append([]uint64(nil), e.inBuf...))
+					activityLanes = append(activityLanes, lanes)
+				}
+			}
+			ssimTotal += e.Metric(e.exact[si][ii], out)
+		}
+	}
+	cost := simp.AnalyzeActivity(activity, activityLanes)
+	return Result{
+		SSIM:   ssimTotal / float64(len(e.App.Sims)*len(e.Images)),
+		Area:   cost.Area,
+		Delay:  cost.Delay,
+		Power:  cost.Power,
+		Energy: cost.Energy,
+		Gates:  cost.GateCount,
+	}, nil
+}
+
+// QoR returns only the mean SSIM of cfg (still requires flattening).
+func (e *Evaluator) QoR(cfg Configuration) (float64, error) {
+	r, err := e.Evaluate(cfg)
+	return r.SSIM, err
+}

@@ -1,0 +1,259 @@
+// Package accel models accelerators as dataflow graphs of arithmetic
+// operations, the representation autoAx explores.
+//
+// A Graph holds typed nodes (inputs, constants, approximable operations,
+// and exact wiring/support nodes).  It provides the three capabilities the
+// methodology needs:
+//
+//   - exact software simulation (the paper's C++ model), including an
+//     operand-trace hook used to profile per-operation PMFs;
+//   - flattening a Configuration — one library circuit per operation —
+//     into a single gate-level netlist (the paper's Verilog model), which
+//     is then synthesized and simulated by internal/netlist;
+//   - structural queries (the operation list that defines the
+//     configuration space).
+package accel
+
+import (
+	"fmt"
+
+	"autoax/internal/acl"
+)
+
+// NodeKind classifies graph nodes.
+type NodeKind uint8
+
+// Node kinds.  Only NodeOp nodes are approximable; the others are either
+// free wiring (shifts, truncation) or small fixed exact circuits
+// (absolute value, saturation).
+const (
+	NodeInput NodeKind = iota
+	NodeConst
+	NodeOp
+	NodeShiftL
+	NodeShiftR
+	NodeTrunc
+	NodeAbs
+	NodeClamp
+)
+
+// Node is one vertex of the accelerator dataflow graph.
+type Node struct {
+	Kind  NodeKind
+	Name  string
+	Width int    // output width in bits
+	Op    acl.Op // for NodeOp
+	Args  []int  // input node ids
+	Shift int    // for NodeShiftL/NodeShiftR
+	Const uint64 // for NodeConst
+}
+
+// Graph is an accelerator dataflow graph.  Nodes are stored in topological
+// order (arguments always precede their users).
+type Graph struct {
+	Name    string
+	Nodes   []Node
+	Inputs  []int // ids of NodeInput nodes, in external binding order
+	Outputs []int // ids of output nodes, in external binding order
+}
+
+// NewGraph returns an empty graph.
+func NewGraph(name string) *Graph { return &Graph{Name: name} }
+
+func (g *Graph) addNode(n Node) int {
+	g.Nodes = append(g.Nodes, n)
+	return len(g.Nodes) - 1
+}
+
+// Input declares an external input of the given width and returns its id.
+func (g *Graph) Input(name string, width int) int {
+	id := g.addNode(Node{Kind: NodeInput, Name: name, Width: width})
+	g.Inputs = append(g.Inputs, id)
+	return id
+}
+
+// Constant declares a constant node.
+func (g *Graph) Constant(name string, width int, value uint64) int {
+	return g.addNode(Node{Kind: NodeConst, Name: name, Width: width, Const: value})
+}
+
+// Op declares an approximable operation node of the given op type over two
+// arguments; argument widths must not exceed the operation width (they are
+// zero-extended).
+func (g *Graph) Op(name string, op acl.Op, a, b int) int {
+	return g.addNode(Node{Kind: NodeOp, Name: name, Width: op.OutWidth(), Op: op, Args: []int{a, b}})
+}
+
+// Add declares an n-bit adder node.
+func (g *Graph) Add(name string, n, a, b int) int {
+	return g.Op(name, acl.Op{Kind: acl.Add, Width: n}, a, b)
+}
+
+// Sub declares an n-bit subtractor node (two's-complement result).
+func (g *Graph) Sub(name string, n, a, b int) int {
+	return g.Op(name, acl.Op{Kind: acl.Sub, Width: n}, a, b)
+}
+
+// Mul declares an n-bit multiplier node.
+func (g *Graph) Mul(name string, n, a, b int) int {
+	return g.Op(name, acl.Op{Kind: acl.Mul, Width: n}, a, b)
+}
+
+// ShiftL declares a left shift by s bits (free wiring; width grows by s).
+func (g *Graph) ShiftL(name string, a, s int) int {
+	return g.addNode(Node{Kind: NodeShiftL, Name: name, Width: g.Nodes[a].Width + s, Args: []int{a}, Shift: s})
+}
+
+// ShiftR declares a right shift by s bits (free wiring; width shrinks).
+func (g *Graph) ShiftR(name string, a, s int) int {
+	w := g.Nodes[a].Width - s
+	if w < 1 {
+		w = 1
+	}
+	return g.addNode(Node{Kind: NodeShiftR, Name: name, Width: w, Args: []int{a}, Shift: s})
+}
+
+// Trunc declares a truncation to the low `width` bits (free wiring) — used
+// when the designer knows the dynamic range fits a narrower bus.
+func (g *Graph) Trunc(name string, a, width int) int {
+	return g.addNode(Node{Kind: NodeTrunc, Name: name, Width: width, Args: []int{a}})
+}
+
+// Abs declares an absolute-value node over a two's-complement input; the
+// output keeps the input width (as magnitude).
+func (g *Graph) Abs(name string, a int) int {
+	return g.addNode(Node{Kind: NodeAbs, Name: name, Width: g.Nodes[a].Width, Args: []int{a}})
+}
+
+// Clamp declares unsigned saturation to `width` bits.
+func (g *Graph) Clamp(name string, a, width int) int {
+	return g.addNode(Node{Kind: NodeClamp, Name: name, Width: width, Args: []int{a}})
+}
+
+// Output marks a node as an external output.
+func (g *Graph) Output(id int) { g.Outputs = append(g.Outputs, id) }
+
+// OpNodes returns the ids of all approximable operation nodes in graph
+// order; a Configuration assigns one library circuit per entry.
+func (g *Graph) OpNodes() []int {
+	var ids []int
+	for i, n := range g.Nodes {
+		if n.Kind == NodeOp {
+			ids = append(ids, i)
+		}
+	}
+	return ids
+}
+
+// OpCounts tallies operation instances per type — the data behind the
+// paper's Table 1.
+func (g *Graph) OpCounts() map[acl.Op]int {
+	m := make(map[acl.Op]int)
+	for _, id := range g.OpNodes() {
+		m[g.Nodes[id].Op]++
+	}
+	return m
+}
+
+// Validate checks topological order, argument widths and output ids.
+func (g *Graph) Validate() error {
+	for i, n := range g.Nodes {
+		for _, a := range n.Args {
+			if a < 0 || a >= i {
+				return fmt.Errorf("accel: node %d (%s) references node %d out of order", i, n.Name, a)
+			}
+		}
+		switch n.Kind {
+		case NodeOp:
+			if len(n.Args) != 2 {
+				return fmt.Errorf("accel: op node %s needs 2 args", n.Name)
+			}
+			for _, a := range n.Args {
+				if g.Nodes[a].Width > n.Op.Width {
+					return fmt.Errorf("accel: node %s: arg %s is %d bits, op %s takes %d",
+						n.Name, g.Nodes[a].Name, g.Nodes[a].Width, n.Op, n.Op.Width)
+				}
+			}
+		case NodeShiftL, NodeShiftR, NodeTrunc, NodeAbs, NodeClamp:
+			if len(n.Args) != 1 {
+				return fmt.Errorf("accel: node %s needs 1 arg", n.Name)
+			}
+		}
+		if n.Width < 1 || n.Width > 63 {
+			return fmt.Errorf("accel: node %s has width %d", n.Name, n.Width)
+		}
+	}
+	for _, o := range g.Outputs {
+		if o < 0 || o >= len(g.Nodes) {
+			return fmt.Errorf("accel: output id %d out of range", o)
+		}
+	}
+	return nil
+}
+
+// EvalExact runs the exact software model: in holds one value per external
+// input (in Inputs order), and the result holds one value per output.
+// scratch, when non-nil and long enough, avoids an allocation.
+func (g *Graph) EvalExact(in []uint64, scratch []uint64) []uint64 {
+	return g.evalExact(in, scratch, nil)
+}
+
+// EvalExactTrace is EvalExact with a hook receiving the operand values of
+// every operation node (keyed by position in OpNodes order) — the profiler
+// that extracts the per-operation PMFs D_k of paper §2.2.
+func (g *Graph) EvalExactTrace(in []uint64, scratch []uint64, trace func(opIdx int, a, b uint64)) []uint64 {
+	return g.evalExact(in, scratch, trace)
+}
+
+func (g *Graph) evalExact(in []uint64, scratch []uint64, trace func(int, uint64, uint64)) []uint64 {
+	if len(in) != len(g.Inputs) {
+		panic(fmt.Sprintf("accel %s: EvalExact got %d inputs, want %d", g.Name, len(in), len(g.Inputs)))
+	}
+	vals := scratch
+	if len(vals) < len(g.Nodes) {
+		vals = make([]uint64, len(g.Nodes))
+	}
+	nextIn := 0
+	opIdx := 0
+	for i, n := range g.Nodes {
+		switch n.Kind {
+		case NodeInput:
+			vals[i] = in[nextIn] & (uint64(1)<<uint(n.Width) - 1)
+			nextIn++
+		case NodeConst:
+			vals[i] = n.Const & (uint64(1)<<uint(n.Width) - 1)
+		case NodeOp:
+			a, b := vals[n.Args[0]], vals[n.Args[1]]
+			if trace != nil {
+				trace(opIdx, a, b)
+			}
+			opIdx++
+			vals[i] = n.Op.Exact(a, b)
+		case NodeShiftL:
+			vals[i] = vals[n.Args[0]] << uint(n.Shift)
+		case NodeShiftR:
+			vals[i] = vals[n.Args[0]] >> uint(n.Shift)
+		case NodeTrunc:
+			vals[i] = vals[n.Args[0]] & (uint64(1)<<uint(n.Width) - 1)
+		case NodeAbs:
+			w := uint(n.Width)
+			v := vals[n.Args[0]]
+			if v>>(w-1) != 0 { // negative two's complement
+				v = (^v + 1) & (uint64(1)<<w - 1)
+			}
+			vals[i] = v
+		case NodeClamp:
+			v := vals[n.Args[0]]
+			limit := uint64(1)<<uint(n.Width) - 1
+			if v > limit {
+				v = limit
+			}
+			vals[i] = v
+		}
+	}
+	out := make([]uint64, len(g.Outputs))
+	for i, o := range g.Outputs {
+		out[i] = vals[o]
+	}
+	return out
+}

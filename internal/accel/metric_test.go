@@ -1,0 +1,50 @@
+package accel
+
+import (
+	"testing"
+
+	"autoax/internal/acl"
+	"autoax/internal/approxgen"
+	"autoax/internal/imagedata"
+	"autoax/internal/ssim"
+)
+
+// TestEvaluatorCustomMetric swaps SSIM for PSNR and checks both behave
+// coherently: exact configurations hit each metric's maximum, degraded
+// configurations score lower under both.
+func TestEvaluatorCustomMetric(t *testing.T) {
+	app := tinyApp()
+	images := imagedata.BenchmarkSet(1, 24, 16, 5)
+	ev, err := NewEvaluator(app, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Metric = ssim.PSNR
+
+	exactCfg, err := ExactConfiguration(app.Graph, acl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ev.Evaluate(exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SSIM != ssim.PSNRCap {
+		t.Errorf("exact PSNR = %f, want cap", res.SSIM)
+	}
+
+	tr, err := acl.Characterize(approxgen.TruncAdder(8, 6), acl.Op{Kind: acl.Add, Width: 8}, "t", acl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := ev.Evaluate(Configuration{tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.SSIM >= res.SSIM {
+		t.Errorf("degraded PSNR %f should be below exact %f", degraded.SSIM, res.SSIM)
+	}
+	if degraded.SSIM < 10 || degraded.SSIM > 60 {
+		t.Errorf("degraded PSNR %f outside a plausible dB range", degraded.SSIM)
+	}
+}

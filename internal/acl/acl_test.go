@@ -1,0 +1,311 @@
+package acl
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"autoax/internal/approxgen"
+	"autoax/internal/arith"
+	"autoax/internal/pmf"
+)
+
+func TestOpBasics(t *testing.T) {
+	add8 := Op{Add, 8}
+	if add8.String() != "add8" {
+		t.Errorf("String = %q", add8.String())
+	}
+	if add8.OutWidth() != 9 {
+		t.Errorf("add8 out width = %d", add8.OutWidth())
+	}
+	if got := add8.Exact(200, 100); got != 300 {
+		t.Errorf("exact add = %d", got)
+	}
+	mul8 := Op{Mul, 8}
+	if mul8.OutWidth() != 16 {
+		t.Errorf("mul8 out width = %d", mul8.OutWidth())
+	}
+	sub10 := Op{Sub, 10}
+	if sub10.OutWidth() != 11 {
+		t.Errorf("sub10 out width = %d", sub10.OutWidth())
+	}
+	// Two's complement decode.
+	out := sub10.Exact(0, 1) // -1 → all ones over 11 bits
+	if out != (1<<11)-1 {
+		t.Errorf("sub exact encode = %d", out)
+	}
+	if v := sub10.Value(out); v != -1 {
+		t.Errorf("sub value = %d, want -1", v)
+	}
+	if v := sub10.Value(5); v != 5 {
+		t.Errorf("sub value(5) = %d", v)
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for _, s := range []string{"add8", "add16", "sub10", "mul8"} {
+		op, err := ParseOp(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if op.String() != s {
+			t.Errorf("round trip %q → %q", s, op.String())
+		}
+	}
+	if _, err := ParseOp("div4"); err == nil {
+		t.Error("expected error for div4")
+	}
+	if _, err := ParseOp("add99"); err == nil {
+		t.Error("expected error for excessive width")
+	}
+}
+
+func TestCharacterizeExactAdder(t *testing.T) {
+	c, err := Characterize(arith.NewRippleCarryAdder(8), Op{Add, 8}, "exact", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsExact() {
+		t.Errorf("exact adder has ErrRate %f", c.ErrRate)
+	}
+	if c.MAE != 0 || c.WCE != 0 || c.MRED != 0 {
+		t.Errorf("exact adder error metrics: %+v", c)
+	}
+	if c.Area <= 0 || c.Delay <= 0 || c.Energy <= 0 {
+		t.Errorf("hardware metrics not positive: %+v", c)
+	}
+}
+
+func TestCharacterizeTruncAdder(t *testing.T) {
+	c, err := Characterize(approxgen.TruncAdder(8, 3), Op{Add, 8}, "trunc", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsExact() {
+		t.Error("trunc adder should not be exact")
+	}
+	// Truncating 3 bits: worst case drops a+b mod 8 from both → up to 7+7=14.
+	if c.WCE != 14 {
+		t.Errorf("WCE = %d, want 14", c.WCE)
+	}
+	// Mean dropped value: E[a mod 8] + E[b mod 8] = 3.5 + 3.5 = 7.
+	if math.Abs(c.MAE-7) > 0.01 {
+		t.Errorf("MAE = %f, want ≈7", c.MAE)
+	}
+	exact, _ := Characterize(arith.NewRippleCarryAdder(8), Op{Add, 8}, "exact", Options{})
+	if c.Area >= exact.Area {
+		t.Errorf("trunc area %f should be below exact %f", c.Area, exact.Area)
+	}
+}
+
+func TestCharacterizeSubtractorSignedError(t *testing.T) {
+	// TruncSubtractor error must be measured in the signed domain: the
+	// worst case for k=2 is |±3| not ~2^11.
+	c, err := Characterize(approxgen.TruncSubtractor(10, 2), Op{Sub, 10}, "trunc", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WCE > 4 {
+		t.Errorf("WCE = %d; signed-domain error should be ≤ 4", c.WCE)
+	}
+}
+
+func TestCharacterizeSampledWideAdder(t *testing.T) {
+	c, err := Characterize(approxgen.TruncAdder(16, 4), Op{Add, 16}, "trunc", Options{Samples: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[a mod 16 + b mod 16] = 15 — sampled, so allow slack.
+	if math.Abs(c.MAE-15) > 1.5 {
+		t.Errorf("sampled MAE = %f, want ≈15", c.MAE)
+	}
+}
+
+func TestCharacterizeInterfaceMismatch(t *testing.T) {
+	if _, err := Characterize(arith.NewRippleCarryAdder(8), Op{Add, 9}, "x", Options{}); err == nil {
+		t.Error("expected width mismatch error")
+	}
+	if _, err := Characterize(arith.NewRippleCarryAdder(8), Op{Mul, 8}, "x", Options{}); err == nil {
+		t.Error("expected output mismatch error")
+	}
+}
+
+func TestSignatureDistinguishesBehaviour(t *testing.T) {
+	c1, _ := Characterize(approxgen.TruncAdder(8, 2), Op{Add, 8}, "trunc", Options{})
+	c2, _ := Characterize(approxgen.TruncAdder(8, 3), Op{Add, 8}, "trunc", Options{})
+	c3, _ := Characterize(approxgen.LOAAdder(8, 2), Op{Add, 8}, "loa", Options{})
+	if c1.Sig == c2.Sig || c1.Sig == c3.Sig {
+		t.Error("distinct behaviours share a signature")
+	}
+	// Same behaviour → same signature (different topologies, both exact).
+	e1, _ := Characterize(arith.NewRippleCarryAdder(8), Op{Add, 8}, "exact", Options{})
+	e2, _ := Characterize(arith.NewKoggeStoneAdder(8), Op{Add, 8}, "exact", Options{})
+	if e1.Sig != e2.Sig {
+		t.Error("equivalent circuits must share a signature")
+	}
+}
+
+func TestLibraryAddDedup(t *testing.T) {
+	lib := NewLibrary()
+	c1, _ := Characterize(approxgen.TruncAdder(8, 2), Op{Add, 8}, "trunc", Options{})
+	c2, _ := Characterize(approxgen.TruncAdder(8, 2), Op{Add, 8}, "trunc", Options{})
+	c3, _ := Characterize(approxgen.TruncAdder(8, 3), Op{Add, 8}, "trunc", Options{})
+	if n := lib.Add(c1, c2, c3); n != 2 {
+		t.Errorf("added %d, want 2 (one duplicate)", n)
+	}
+	if lib.Size() != 2 {
+		t.Errorf("size = %d", lib.Size())
+	}
+}
+
+func TestBuildLibrarySmall(t *testing.T) {
+	lib, err := Build([]BuildSpec{
+		{Op{Add, 8}, 40},
+		{Op{Sub, 10}, 25},
+	}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.For(Op{Add, 8})) == 0 || len(lib.For(Op{Sub, 10})) == 0 {
+		t.Fatal("missing op circuits")
+	}
+	// Sorted by area.
+	prev := -1.0
+	for _, c := range lib.For(Op{Add, 8}) {
+		if c.Area < prev {
+			t.Fatal("library not sorted by area")
+		}
+		prev = c.Area
+	}
+	// At least one exact circuit survives dedup.
+	exact := 0
+	for _, c := range lib.For(Op{Add, 8}) {
+		if c.IsExact() {
+			exact++
+		}
+	}
+	if exact == 0 {
+		t.Error("no exact adder in library")
+	}
+	ops := lib.Ops()
+	if len(ops) != 2 {
+		t.Errorf("ops = %v", ops)
+	}
+}
+
+func TestLibrarySaveLoadRoundTrip(t *testing.T) {
+	lib, err := Build([]BuildSpec{{Op{Add, 8}, 15}}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := lib.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != lib.Size() {
+		t.Fatalf("size %d ≠ %d after round trip", got.Size(), lib.Size())
+	}
+	a := lib.For(Op{Add, 8})[0]
+	b := got.For(Op{Add, 8})[0]
+	if a.Name != b.Name || a.Area != b.Area || a.MAE != b.MAE || a.Sig != b.Sig {
+		t.Errorf("round trip mismatch: %+v vs %+v", a, b)
+	}
+	if len(a.Netlist.Gates) != len(b.Netlist.Gates) {
+		t.Error("netlist not preserved")
+	}
+}
+
+func TestScoreWMEDUniformMatchesMAE(t *testing.T) {
+	// Under the uniform distribution, WMED = MAE by definition.
+	cs := []*Circuit{}
+	for _, k := range []int{1, 2, 4} {
+		c, err := Characterize(approxgen.TruncAdder(6, k), Op{Add, 6}, "trunc", Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs = append(cs, c)
+	}
+	ScoreWMED(cs, pmf.Uniform(6, 6))
+	for _, c := range cs {
+		if math.Abs(c.WMED-c.MAE) > 1e-9 {
+			t.Errorf("%s: WMED %f ≠ MAE %f under uniform PMF", c.Name, c.WMED, c.MAE)
+		}
+	}
+}
+
+func TestScoreWMEDWeighting(t *testing.T) {
+	// A PMF concentrated on inputs where truncation is exact gives WMED 0.
+	c, err := Characterize(approxgen.TruncAdder(6, 2), Op{Add, 6}, "trunc", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := pmf.New(6, 6)
+	d.Add(0b100, 0b1000, 1) // low 2 bits zero → no truncation error
+	d.Normalize()
+	ScoreWMED([]*Circuit{c}, d)
+	if c.WMED != 0 {
+		t.Errorf("WMED = %f, want 0 on error-free support", c.WMED)
+	}
+	d2 := pmf.New(6, 6)
+	d2.Add(0b11, 0b11, 1) // both truncated: error = 6
+	d2.Normalize()
+	ScoreWMED([]*Circuit{c}, d2)
+	if math.Abs(c.WMED-6) > 1e-12 {
+		t.Errorf("WMED = %f, want 6", c.WMED)
+	}
+}
+
+func TestParetoFilterInvariants(t *testing.T) {
+	lib, err := Build([]BuildSpec{{Op{Add, 8}, 60}}, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := lib.For(Op{Add, 8})
+	front := Reduce(cs, pmf.Uniform(8, 8))
+	if len(front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	if len(front) > len(cs) {
+		t.Fatal("front larger than input")
+	}
+	// No member may dominate another.
+	for i, a := range front {
+		for j, b := range front {
+			if i == j {
+				continue
+			}
+			if a.WMED <= b.WMED && a.Area <= b.Area && (a.WMED < b.WMED || a.Area < b.Area) {
+				t.Fatalf("front member %s dominates %s", a.Name, b.Name)
+			}
+		}
+	}
+	// Every input circuit must be dominated-or-equal by some front member.
+	for _, c := range cs {
+		ok := false
+		for _, f := range front {
+			if f.WMED <= c.WMED && f.Area <= c.Area {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("circuit %s not covered by the front", c.Name)
+		}
+	}
+	// The front must contain a zero-WMED (exact) circuit.
+	if front[0].WMED != 0 {
+		t.Errorf("front should start with an exact circuit, got WMED %f", front[0].WMED)
+	}
+}
+
+func TestRelWMED(t *testing.T) {
+	c := &Circuit{Op: Op{Add, 8}, WMED: 51}
+	want := 51.0 / 510.0
+	if math.Abs(c.RelWMED()-want) > 1e-12 {
+		t.Errorf("RelWMED = %f, want %f", c.RelWMED(), want)
+	}
+}

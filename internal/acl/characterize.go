@@ -1,0 +1,158 @@
+package acl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autoax/internal/netlist"
+)
+
+// Options controls circuit characterization.
+type Options struct {
+	// ExhaustiveBits: operand pairs with at most this many total bits are
+	// characterized exhaustively; wider ones use Samples Monte-Carlo draws.
+	ExhaustiveBits int
+	// Samples is the Monte-Carlo sample count for wide operations.
+	Samples int
+	// Seed drives Monte-Carlo sampling (deterministic per circuit).
+	Seed int64
+	// ActivityBatches bounds how many 64-lane batches feed the switching-
+	// activity estimate for power/energy.
+	ActivityBatches int
+}
+
+// DefaultOptions returns the characterization settings used by the
+// experiments: exhaustive to 20 bits (covers add8/add9/sub10/mul8),
+// 65536 samples beyond, 32 activity batches.
+func DefaultOptions() Options {
+	return Options{ExhaustiveBits: 20, Samples: 1 << 16, Seed: 1, ActivityBatches: 32}
+}
+
+func (o Options) withDefaults() Options {
+	d := DefaultOptions()
+	if o.ExhaustiveBits == 0 {
+		o.ExhaustiveBits = d.ExhaustiveBits
+	}
+	if o.Samples == 0 {
+		o.Samples = d.Samples
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	if o.ActivityBatches == 0 {
+		o.ActivityBatches = d.ActivityBatches
+	}
+	return o
+}
+
+const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
+
+// Characterize synthesizes (simplifies) the netlist, verifies its
+// interface matches op, and measures error and hardware metrics.  The
+// returned Circuit stores the simplified netlist.
+func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Circuit, error) {
+	opts = opts.withDefaults()
+	wa, wb := op.InWidths()
+	if nl.NumInputs != wa+wb {
+		return nil, fmt.Errorf("acl: %s has %d inputs, op %s needs %d", nl.Name, nl.NumInputs, op, wa+wb)
+	}
+	if len(nl.Outputs) != op.OutWidth() {
+		return nil, fmt.Errorf("acl: %s has %d outputs, op %s needs %d", nl.Name, len(nl.Outputs), op, op.OutWidth())
+	}
+	simp := netlist.Simplify(nl)
+	simp.Name = nl.Name
+	c := &Circuit{Name: nl.Name, Op: op, Family: family, Netlist: simp}
+
+	ev := netlist.NewEvaluator(simp)
+	planes := make([]uint64, wa+wb)
+	var avals, bvals, ovals [64]uint64
+	exhaustive := wa+wb <= opts.ExhaustiveBits
+	var total uint64
+	if exhaustive {
+		total = uint64(1) << uint(wa+wb)
+	} else {
+		total = uint64(opts.Samples)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	maskA := uint64(1)<<uint(wa) - 1
+	maskB := uint64(1)<<uint(wb) - 1
+
+	var (
+		sumAbs, sumSq, sumRel float64
+		wce                   int64
+		errCount              uint64
+		sig                   uint64 = fnvOffset
+	)
+	var activity [][]uint64
+	var activityLanes []int
+
+	for base := uint64(0); base < total; base += 64 {
+		lanes := 64
+		if total-base < 64 {
+			lanes = int(total - base)
+		}
+		if exhaustive {
+			for l := 0; l < lanes; l++ {
+				idx := base + uint64(l)
+				avals[l] = idx >> uint(wb)
+				bvals[l] = idx & maskB
+			}
+		} else {
+			for l := 0; l < lanes; l++ {
+				avals[l] = rng.Uint64() & maskA
+				bvals[l] = rng.Uint64() & maskB
+			}
+		}
+		netlist.PackBits(avals[:lanes], wa, planes[:wa])
+		netlist.PackBits(bvals[:lanes], wb, planes[wa:])
+		out := ev.Eval(planes)
+		for _, w := range out {
+			sig = (sig ^ w) * fnvPrime
+		}
+		netlist.UnpackBits(out, lanes, ovals[:])
+		for l := 0; l < lanes; l++ {
+			exact := op.Value(op.Exact(avals[l], bvals[l]))
+			got := op.Value(ovals[l])
+			d := got - exact
+			if d < 0 {
+				d = -d
+			}
+			if d != 0 {
+				errCount++
+				if d > wce {
+					wce = d
+				}
+				fd := float64(d)
+				sumAbs += fd
+				sumSq += fd * fd
+				den := exact
+				if den < 0 {
+					den = -den
+				}
+				if den == 0 {
+					den = 1
+				}
+				sumRel += fd / float64(den)
+			}
+		}
+		if len(activity) < opts.ActivityBatches {
+			activity = append(activity, append([]uint64(nil), planes...))
+			activityLanes = append(activityLanes, lanes)
+		}
+	}
+	ft := float64(total)
+	c.MAE = sumAbs / ft
+	c.MSE = sumSq / ft
+	c.MRED = sumRel / ft
+	c.ErrRate = float64(errCount) / ft
+	c.WCE = wce
+	c.Sig = sig
+
+	cost := simp.AnalyzeActivity(activity, activityLanes)
+	c.Area = cost.Area
+	c.Delay = cost.Delay
+	c.Power = cost.Power
+	c.Energy = cost.Energy
+	c.Gates = cost.GateCount
+	return c, nil
+}

@@ -1,0 +1,50 @@
+package acl
+
+import "autoax/internal/netlist"
+
+// Circuit is one fully characterized library component, the unit the autoAx
+// methodology composes accelerators from.  The paper assumes every library
+// circuit is characterized by error metrics and hardware parameters but
+// makes no assumption about internal structure; here the structure (the
+// post-synthesis netlist) is carried along so accelerator-level simulation
+// and synthesis can be performed from a single source of truth.
+type Circuit struct {
+	Name   string `json:"name"`
+	Op     Op     `json:"op"`
+	Family string `json:"family"`
+
+	// Netlist is the simplified (post-synthesis) gate-level structure.
+	Netlist *netlist.Netlist `json:"netlist"`
+
+	// Hardware parameters (45 nm-style cell model, post-synthesis).
+	Area   float64 `json:"area"`   // µm²
+	Delay  float64 `json:"delay"`  // ns
+	Power  float64 `json:"power"`  // µW at the nominal clock
+	Energy float64 `json:"energy"` // fJ per operation
+	Gates  int     `json:"gates"`
+
+	// Error metrics against the exact operation under a uniform input
+	// distribution (exhaustive for ≤20 operand bits, Monte-Carlo beyond).
+	MAE     float64 `json:"mae"`     // mean absolute error distance
+	WCE     int64   `json:"wce"`     // worst-case absolute error
+	MSE     float64 `json:"mse"`     // mean squared error
+	MRED    float64 `json:"mred"`    // mean relative error distance
+	ErrRate float64 `json:"errRate"` // probability of a wrong result
+
+	// Sig is a behavioural fingerprint used to deduplicate variants.
+	Sig uint64 `json:"sig"`
+
+	// WMED is the application-specific weighted mean error distance filled
+	// in by library pre-processing (ScoreWMED); it is not persisted.
+	WMED float64 `json:"-"`
+}
+
+// IsExact reports whether characterization found no erroneous output.
+func (c *Circuit) IsExact() bool { return c.ErrRate == 0 }
+
+// RelWMED returns WMED normalized by the operation's output range, the
+// quantity the paper's uniform-selection baseline equalizes across
+// operations.
+func (c *Circuit) RelWMED() float64 {
+	return c.WMED / float64(c.Op.MaxAbsValue())
+}

@@ -1,0 +1,172 @@
+package acl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"autoax/internal/approxgen"
+)
+
+// Library groups characterized circuits per operation instance (e.g. all
+// 8-bit adders).  It is the reproduction's counterpart of the paper's
+// merged EvoApprox + QuAd + BAM library (Table 2).
+type Library struct {
+	// Circuits maps Op.String() to the characterized circuits available
+	// for that operation instance, sorted by ascending area.
+	Circuits map[string][]*Circuit `json:"circuits"`
+}
+
+// NewLibrary returns an empty library.
+func NewLibrary() *Library {
+	return &Library{Circuits: make(map[string][]*Circuit)}
+}
+
+// For returns the circuits available for op (nil when none).
+func (l *Library) For(op Op) []*Circuit { return l.Circuits[op.String()] }
+
+// Ops returns the operation instances present, sorted by name.
+func (l *Library) Ops() []Op {
+	keys := make([]string, 0, len(l.Circuits))
+	for k := range l.Circuits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ops := make([]Op, 0, len(keys))
+	for _, k := range keys {
+		op, err := ParseOp(k)
+		if err == nil {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// Size returns the total number of circuits across all operations.
+func (l *Library) Size() int {
+	n := 0
+	for _, cs := range l.Circuits {
+		n += len(cs)
+	}
+	return n
+}
+
+// Add inserts characterized circuits, skipping behavioural duplicates
+// (same signature as an existing circuit for the same op).  It returns the
+// number of circuits actually added.
+func (l *Library) Add(cs ...*Circuit) int {
+	added := 0
+	for _, c := range cs {
+		key := c.Op.String()
+		dup := false
+		for _, e := range l.Circuits[key] {
+			if e.Sig == c.Sig && e.Area == c.Area {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			l.Circuits[key] = append(l.Circuits[key], c)
+			added++
+		}
+	}
+	return added
+}
+
+// SortByArea orders every operation's circuits by ascending area (then
+// name, for determinism).
+func (l *Library) SortByArea() {
+	for _, cs := range l.Circuits {
+		sort.Slice(cs, func(i, j int) bool {
+			if cs[i].Area != cs[j].Area {
+				return cs[i].Area < cs[j].Area
+			}
+			return cs[i].Name < cs[j].Name
+		})
+	}
+}
+
+// BuildSpec requests count candidate circuits for one operation instance.
+// The built library may hold fewer after behavioural deduplication.
+type BuildSpec struct {
+	Op    Op
+	Count int
+}
+
+// Build generates, characterizes, deduplicates and collects circuits for
+// every spec.  Generation and characterization are deterministic in seed.
+func Build(specs []BuildSpec, seed int64, opts Options) (*Library, error) {
+	lib := NewLibrary()
+	for _, spec := range specs {
+		var vs []approxgen.Variant
+		switch spec.Op.Kind {
+		case Add:
+			vs = approxgen.AdderVariants(spec.Op.Width, spec.Count, seed)
+		case Sub:
+			vs = approxgen.SubtractorVariants(spec.Op.Width, spec.Count, seed)
+		case Mul:
+			vs = approxgen.MultiplierVariants(spec.Op.Width, spec.Count, seed)
+		default:
+			return nil, fmt.Errorf("acl: unsupported op kind %v", spec.Op.Kind)
+		}
+		for _, v := range vs {
+			c, err := Characterize(v.N, spec.Op, v.Family, opts)
+			if err != nil {
+				return nil, fmt.Errorf("acl: characterize %s: %w", v.N.Name, err)
+			}
+			lib.Add(c)
+		}
+	}
+	lib.SortByArea()
+	return lib, nil
+}
+
+// Save writes the library as JSON.
+func (l *Library) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(l)
+}
+
+// SaveFile writes the library to a JSON file.
+func (l *Library) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return l.Save(f)
+}
+
+// Load reads a library from JSON.
+func Load(r io.Reader) (*Library, error) {
+	var l Library
+	if err := json.NewDecoder(r).Decode(&l); err != nil {
+		return nil, fmt.Errorf("acl: load library: %w", err)
+	}
+	if l.Circuits == nil {
+		l.Circuits = make(map[string][]*Circuit)
+	}
+	for key, cs := range l.Circuits {
+		for _, c := range cs {
+			if c.Netlist == nil {
+				return nil, fmt.Errorf("acl: circuit %s/%s has no netlist", key, c.Name)
+			}
+			if err := c.Netlist.Validate(); err != nil {
+				return nil, fmt.Errorf("acl: circuit %s/%s: %w", key, c.Name, err)
+			}
+		}
+	}
+	return &l, nil
+}
+
+// LoadFile reads a library from a JSON file.
+func LoadFile(path string) (*Library, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

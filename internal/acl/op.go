@@ -1,0 +1,114 @@
+// Package acl implements the approximate-component library: operation
+// semantics, circuit characterization (error and hardware metrics), library
+// construction, persistence, and the WMED-based library pre-processing of
+// autoAx (paper §2.2).
+package acl
+
+import "fmt"
+
+// Kind is the arithmetic operation class a circuit implements.
+type Kind uint8
+
+// Supported operation classes.
+const (
+	Add Kind = iota
+	Sub
+	Mul
+)
+
+// String returns "add", "sub" or "mul".
+func (k Kind) String() string {
+	switch k {
+	case Add:
+		return "add"
+	case Sub:
+		return "sub"
+	case Mul:
+		return "mul"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Op identifies an operation instance type: class plus operand width.
+// Both operands share the width; narrower actual signals are zero-padded
+// when a library circuit is instantiated.
+type Op struct {
+	Kind  Kind `json:"kind"`
+	Width int  `json:"width"`
+}
+
+// String returns e.g. "add8", "sub10", "mul8" — the operation-instance
+// naming used by the paper's Tables 1 and 2.
+func (o Op) String() string { return fmt.Sprintf("%s%d", o.Kind, o.Width) }
+
+// InWidths returns the operand widths (always equal).
+func (o Op) InWidths() (wa, wb int) { return o.Width, o.Width }
+
+// OutWidth returns the result width: n+1 bits for add (carry) and sub
+// (two's-complement sign), 2n for mul.
+func (o Op) OutWidth() int {
+	if o.Kind == Mul {
+		return 2 * o.Width
+	}
+	return o.Width + 1
+}
+
+// Exact returns the reference result encoded exactly as the library
+// circuits encode it (two's complement over OutWidth bits for Sub).
+func (o Op) Exact(a, b uint64) uint64 {
+	switch o.Kind {
+	case Add:
+		return a + b
+	case Sub:
+		return (a - b) & (uint64(1)<<uint(o.Width+1) - 1)
+	case Mul:
+		return a * b
+	}
+	panic("acl: unknown op kind")
+}
+
+// Value decodes a result word into its numeric value: unsigned for Add and
+// Mul, two's complement for Sub.
+func (o Op) Value(out uint64) int64 {
+	if o.Kind == Sub {
+		w := uint(o.Width + 1)
+		if out>>(w-1) != 0 {
+			return int64(out) - int64(1)<<w
+		}
+	}
+	return int64(out)
+}
+
+// MaxAbsValue returns the largest |value| the operation can produce; used
+// to express WMED relative to the output range (the paper's uniform
+// selection baseline).
+func (o Op) MaxAbsValue() int64 {
+	switch o.Kind {
+	case Add:
+		return 2 * (int64(1)<<uint(o.Width) - 1)
+	case Sub:
+		return int64(1)<<uint(o.Width) - 1
+	case Mul:
+		m := int64(1)<<uint(o.Width) - 1
+		return m * m
+	}
+	panic("acl: unknown op kind")
+}
+
+// ParseOp parses strings like "add8" or "mul16".
+func ParseOp(s string) (Op, error) {
+	for _, k := range []Kind{Add, Sub, Mul} {
+		prefix := k.String()
+		if len(s) > len(prefix) && s[:len(prefix)] == prefix {
+			var w int
+			if _, err := fmt.Sscanf(s[len(prefix):], "%d", &w); err != nil {
+				return Op{}, fmt.Errorf("acl: bad op %q: %w", s, err)
+			}
+			if w < 1 || w > 32 {
+				return Op{}, fmt.Errorf("acl: op width %d out of range", w)
+			}
+			return Op{Kind: k, Width: w}, nil
+		}
+	}
+	return Op{}, fmt.Errorf("acl: unknown op %q", s)
+}

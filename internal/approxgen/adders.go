@@ -1,0 +1,202 @@
+// Package approxgen generates libraries of approximate arithmetic circuits.
+//
+// It is the reproduction's substitute for the EvoApprox8b, QuAd and
+// broken-array-multiplier libraries the paper draws from: parametric
+// families of classic approximate adders, subtractors and multipliers plus
+// a seeded structural-mutation engine that perturbs exact netlists (playing
+// the role of EvoApprox's CGP-evolved circuits).  autoAx treats every
+// library circuit as a black box characterized by error and hardware
+// metrics, so faithfully spanning the same error/cost trade-off surface is
+// what matters — not bit-identical netlists.
+//
+// All circuits share the exact components' interface: an n-bit adder or
+// subtractor has inputs a[0..n) b[0..n) and n+1 outputs; an n-bit
+// multiplier has 2n inputs and 2n outputs.
+package approxgen
+
+import (
+	"fmt"
+
+	"autoax/internal/arith"
+	"autoax/internal/netlist"
+)
+
+// TruncAdder returns an n-bit adder whose k least-significant result bits
+// are constant zero; the upper bits are added exactly with no carry-in.
+func TruncAdder(n, k int) *netlist.Netlist {
+	if k > n {
+		k = n
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("add%d_trunc%d", n, k), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	out := make(arith.Bus, 0, n+1)
+	for i := 0; i < k; i++ {
+		out = append(out, netlist.Const0)
+	}
+	out = append(out, arith.AddBus(b, a[k:], y[k:], netlist.Const0)...)
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// LOAAdder returns the lower-part OR adder: the k low result bits are
+// OR(a_i, b_i) and the carry into the exact upper part is AND(a_{k-1},
+// b_{k-1}).  k must be ≥ 1; k = 0 degenerates to the exact adder.
+func LOAAdder(n, k int) *netlist.Netlist {
+	if k > n {
+		k = n
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("add%d_loa%d", n, k), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	out := make(arith.Bus, 0, n+1)
+	for i := 0; i < k; i++ {
+		out = append(out, b.Or(a[i], y[i]))
+	}
+	cin := netlist.Signal(netlist.Const0)
+	if k > 0 {
+		cin = b.And(a[k-1], y[k-1])
+	}
+	out = append(out, arith.AddBus(b, a[k:], y[k:], cin)...)
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// SegmentedAdder returns a QuAd-style adder split into independent
+// sub-adders: carries do not cross block boundaries.  blocks lists the
+// sub-adder widths from LSB to MSB and must sum to n.  The final output bit
+// is the top block's carry-out; inner carry-outs are dropped.
+func SegmentedAdder(n int, blocks []int) *netlist.Netlist {
+	total := 0
+	for _, w := range blocks {
+		total += w
+	}
+	if total != n {
+		panic(fmt.Sprintf("approxgen: SegmentedAdder blocks sum to %d, want %d", total, n))
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("add%d_seg%v", n, blocks), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	out := make(arith.Bus, 0, n+1)
+	lo := 0
+	for bi, w := range blocks {
+		s := arith.AddBus(b, a[lo:lo+w], y[lo:lo+w], netlist.Const0)
+		out = append(out, s[:w]...)
+		if bi == len(blocks)-1 {
+			out = append(out, s[w])
+		}
+		lo += w
+	}
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// GeArAdder returns a GeAr-style generic accuracy-configurable adder: the
+// result is produced in chunks of r bits, each computed by a sub-adder that
+// also sees the p previous ("prediction") bits but not the true carry.
+// GeAr(n, r, 0) is the segmented adder with uniform blocks; growing p
+// trades area for accuracy.  ACA corresponds to r = 1, p = window−1.
+func GeArAdder(n, r, p int) *netlist.Netlist {
+	if r < 1 {
+		r = 1
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("add%d_gear_r%d_p%d", n, r, p), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	out := make(arith.Bus, n+1)
+	var lastCarry netlist.Signal = netlist.Const0
+	for lo := 0; lo < n; lo += r {
+		hi := lo + r
+		if hi > n {
+			hi = n
+		}
+		start := lo - p
+		if start < 0 {
+			start = 0
+		}
+		s := arith.AddBus(b, a[start:hi], y[start:hi], netlist.Const0)
+		for i := lo; i < hi; i++ {
+			out[i] = s[i-start]
+		}
+		lastCarry = s[hi-start]
+	}
+	out[n] = lastCarry
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// TruncSubtractor returns an n-bit subtractor whose k low result bits are
+// constant zero; upper bits subtract exactly with no borrow-in.  The output
+// is n+1 bits two's complement like the exact subtractor.
+func TruncSubtractor(n, k int) *netlist.Netlist {
+	if k > n {
+		k = n
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("sub%d_trunc%d", n, k), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	out := make(arith.Bus, 0, n+1)
+	for i := 0; i < k; i++ {
+		out = append(out, netlist.Const0)
+	}
+	out = append(out, arith.SubBus(b, a[k:], y[k:])...)
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// LowerXorSubtractor approximates the k low result bits as XOR(a_i, b_i)
+// (the exact difference bit ignoring borrows) and injects the borrow
+// generated at bit k−1 (¬a·b) into the exact upper part.
+func LowerXorSubtractor(n, k int) *netlist.Netlist {
+	if k > n {
+		k = n
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("sub%d_lxor%d", n, k), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	out := make(arith.Bus, 0, n+1)
+	for i := 0; i < k; i++ {
+		out = append(out, b.Xor(a[i], y[i]))
+	}
+	// Exact upper part: a[k:] − b[k:] − borrow, built as a + ~b + (1−borrow).
+	w := n - k
+	var upper arith.Bus
+	if k > 0 {
+		borrow := b.AndNot(y[k-1], a[k-1]) // b AND NOT a
+		ny := make(arith.Bus, w+1)
+		for i := 0; i < w; i++ {
+			ny[i] = b.Not(y[k+i])
+		}
+		ny[w] = netlist.Const1
+		xx := arith.PadBus(append(arith.Bus(nil), a[k:]...), w+1)
+		// a + ~b + 1 − borrow  =  a + ~b + NOT(borrow) ... since borrow∈{0,1}:
+		// cin = NOT borrow.
+		upper = arith.AddBus(b, xx, ny, b.Not(borrow))[:w+1]
+	} else {
+		upper = arith.SubBus(b, a, y)
+	}
+	out = append(out, upper...)
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// SegmentedSubtractor splits the subtraction into independent blocks with
+// no borrow propagation across boundaries; the sign bit comes from the top
+// block.  blocks must sum to n.
+func SegmentedSubtractor(n int, blocks []int) *netlist.Netlist {
+	total := 0
+	for _, w := range blocks {
+		total += w
+	}
+	if total != n {
+		panic(fmt.Sprintf("approxgen: SegmentedSubtractor blocks sum to %d, want %d", total, n))
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("sub%d_seg%v", n, blocks), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	out := make(arith.Bus, 0, n+1)
+	lo := 0
+	for bi, w := range blocks {
+		d := arith.SubBus(b, a[lo:lo+w], y[lo:lo+w])
+		out = append(out, d[:w]...)
+		if bi == len(blocks)-1 {
+			out = append(out, d[w])
+		}
+		lo += w
+	}
+	b.OutputBus(out)
+	return b.Build()
+}

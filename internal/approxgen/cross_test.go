@@ -1,0 +1,106 @@
+package approxgen
+
+import (
+	"testing"
+
+	"autoax/internal/arith"
+	"autoax/internal/netlist"
+)
+
+// TestGeArZeroPredictionEqualsSegmented cross-validates two independently
+// written families: GeAr with p = 0 computes each r-bit chunk in
+// isolation, which is exactly the uniform segmented adder.
+func TestGeArZeroPredictionEqualsSegmented(t *testing.T) {
+	for _, tc := range []struct {
+		n, r int
+	}{{8, 2}, {8, 4}, {6, 3}, {9, 3}} {
+		blocks := make([]int, 0, tc.n/tc.r)
+		for sum := 0; sum < tc.n; sum += tc.r {
+			blocks = append(blocks, tc.r)
+		}
+		gear := GeArAdder(tc.n, tc.r, 0)
+		seg := SegmentedAdder(tc.n, blocks)
+		if err := netlist.Equivalent(gear, seg, 18, 0, 1); err != nil {
+			t.Errorf("n=%d r=%d: %v", tc.n, tc.r, err)
+		}
+	}
+}
+
+// TestTruncAdderEqualsMaskedExact cross-validates truncation against the
+// exact adder on high bits: for inputs with k low bits zero the truncated
+// adder must agree with the exact one.
+func TestTruncAdderEqualsMaskedExact(t *testing.T) {
+	tr := TruncAdder(8, 3)
+	f := tr.WordFunc(8, 8)
+	for a := uint64(0); a < 256; a += 8 {
+		for b := uint64(0); b < 256; b += 8 {
+			if got := f(a, b); got != a+b {
+				t.Fatalf("trunc(%d,%d) = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+// TestUDMVersusBAMErrorProfiles verifies the two multiplier families have
+// their characteristic error signatures: UDM errs only when a 3-limb meets
+// a 3-limb; BAM errs on low-significance products.
+func TestUDMVersusBAMErrorProfiles(t *testing.T) {
+	udm := UDMMultiplier(4, 0xF).WordFunc(4, 4)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			exact := a * b
+			got := udm(a, b)
+			hasThrees := (a&3 == 3 && b&3 == 3) || (a>>2 == 3 && b&3 == 3) ||
+				(a&3 == 3 && b>>2 == 3) || (a>>2 == 3 && b>>2 == 3)
+			if !hasThrees && got != exact {
+				t.Fatalf("UDM(%d,%d)=%d ≠ %d without any 3×3 limb pair", a, b, got, exact)
+			}
+		}
+	}
+	bam := BAMMultiplier(4, 6, 0).WordFunc(4, 4)
+	// With vbl=6 only weights ≥6 survive: products of the top bits.
+	if got := bam(8, 8); got != 64 {
+		t.Errorf("BAM kept high product wrong: %d", got)
+	}
+	if got := bam(3, 3); got != 0 {
+		t.Errorf("BAM should drop low products entirely: %d", got)
+	}
+}
+
+// TestMutantsStayWithinInterface ensures mutants preserve I/O counts and
+// never panic during evaluation, for a spread of seeds and op counts.
+func TestMutantsStayWithinInterface(t *testing.T) {
+	base := arith.NewDaddaMultiplier(4)
+	for seed := int64(0); seed < 30; seed++ {
+		m := Mutate(base, 1+int(seed%7), seed)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if m.NumInputs != base.NumInputs || len(m.Outputs) != len(base.Outputs) {
+			t.Fatalf("seed %d: interface changed", seed)
+		}
+		f := m.WordFunc(4, 4)
+		_ = f(15, 15) // must not panic
+	}
+}
+
+// TestVariantFamiliesAreaOrdering sanity-checks the families' cost story:
+// aggressive truncation must be cheaper than exactness everywhere.
+func TestVariantFamiliesAreaOrdering(t *testing.T) {
+	exact := netlist.Simplify(arith.NewRippleCarryAdder(8)).Analyze().Area
+	for k := 2; k <= 8; k++ {
+		tr := netlist.Simplify(TruncAdder(8, k)).Analyze().Area
+		if tr >= exact {
+			t.Errorf("trunc k=%d area %f ≥ exact %f", k, tr, exact)
+		}
+	}
+	// Deeper truncation is never more expensive.
+	prev := exact
+	for k := 1; k <= 8; k++ {
+		a := netlist.Simplify(TruncAdder(8, k)).Analyze().Area
+		if a > prev {
+			t.Errorf("trunc area grew at k=%d: %f > %f", k, a, prev)
+		}
+		prev = a
+	}
+}

@@ -1,0 +1,142 @@
+package approxgen
+
+import (
+	"fmt"
+
+	"autoax/internal/arith"
+	"autoax/internal/netlist"
+)
+
+// DRUMMultiplier returns an n-bit DRUM-style dynamic-range unbiased
+// multiplier with k-bit mantissas (2 ≤ k < n).
+//
+// DRUM exploits that image/signal operands rarely use their full width:
+// each operand is reduced to the k bits starting at its leading one (with
+// the lowest kept bit forced to 1, which unbiases the truncation), the two
+// k-bit mantissas are multiplied exactly, and the product is shifted back.
+// Small operands (fitting k bits) are used exactly.
+func DRUMMultiplier(n, k int) *netlist.Netlist {
+	if k < 2 {
+		k = 2
+	}
+	if k >= n {
+		k = n - 1
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d_drum%d", n, k), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+
+	ma, sa, aZero := drumEncode(b, a, k)
+	mb, sb, bZero := drumEncode(b, y, k)
+	zero := b.Or(aZero, bZero)
+
+	// Exact k×k mantissa product.
+	cols := arith.PartialProductColumns(b, ma, mb)
+	r0, r1 := arith.CompressColumns(b, cols)
+	prod := arith.AddBus(b, r0, r1, netlist.Const0)[:2*k]
+
+	// Barrel-shift the product left by sa + sb (≤ 2(n−k)).
+	shift := arith.AddBus(b, sa, sb, netlist.Const0)
+	maxShift := 2 * (n - k)
+	ext := arith.PadBus(prod, 2*n)
+	for stage := 0; (1 << stage) <= maxShift; stage++ {
+		if stage >= len(shift) {
+			break
+		}
+		amt := 1 << stage
+		sel := shift[stage]
+		next := make(arith.Bus, len(ext))
+		for i := range ext {
+			var from netlist.Signal = netlist.Const0
+			if i-amt >= 0 {
+				from = ext[i-amt]
+			}
+			next[i] = b.Mux(sel, ext[i], from)
+		}
+		ext = next
+	}
+
+	out := make(arith.Bus, 2*n)
+	for i := range out {
+		out[i] = b.AndNot(ext[i], zero)
+	}
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// drumEncode reduces bus x to its k-bit dynamic-range mantissa and the
+// binary shift that restores magnitude, plus a zero flag.
+func drumEncode(b *netlist.Builder, x arith.Bus, k int) (mant, shift arith.Bus, zero netlist.Signal) {
+	n := len(x)
+	lead := make(arith.Bus, n)
+	var above netlist.Signal = netlist.Const0
+	for i := n - 1; i >= 0; i-- {
+		lead[i] = b.AndNot(x[i], above)
+		above = b.Or(above, x[i])
+	}
+	zero = b.Not(above)
+	// small: leading one within the low k bits → operand used exactly.
+	small := b.OrMany(append(arith.Bus{zero}, lead[:k]...)...)
+
+	// Mantissa bit t: x[t] when small, else OR_i≥k lead[i]·x[i−k+1+t]; the
+	// lowest mantissa bit is forced to 1 in the reduced case (unbiasing).
+	mant = make(arith.Bus, k)
+	for t := 0; t < k; t++ {
+		var terms arith.Bus
+		for i := k; i < n; i++ {
+			src := i - k + 1 + t
+			if src < n {
+				terms = append(terms, b.And(lead[i], x[src]))
+			}
+		}
+		reduced := b.OrMany(terms...)
+		if t == 0 {
+			reduced = b.Not(small) // forced 1 whenever the reduced path is active
+		}
+		mant[t] = b.Mux(small, reduced, x[t])
+	}
+
+	// Shift = i−k+1 for a leading one at i ≥ k, else 0.
+	sw := 0
+	for 1<<sw <= n-k {
+		sw++
+	}
+	shift = make(arith.Bus, sw)
+	for j := 0; j < sw; j++ {
+		var terms arith.Bus
+		for i := k; i < n; i++ {
+			if (i-k+1)>>uint(j)&1 == 1 {
+				terms = append(terms, lead[i])
+			}
+		}
+		shift[j] = b.OrMany(terms...)
+	}
+	return mant, shift, zero
+}
+
+// DRUMReference is the bit-exact software model of DRUMMultiplier.
+func DRUMReference(a, bv uint64, n, k int) uint64 {
+	if k < 2 {
+		k = 2
+	}
+	if k >= n {
+		k = n - 1
+	}
+	if a == 0 || bv == 0 {
+		return 0
+	}
+	reduce := func(v uint64) (mant, shift uint64) {
+		lead := 0
+		for v>>uint(lead+1) != 0 {
+			lead++
+		}
+		if lead < k {
+			return v, 0
+		}
+		shift = uint64(lead - k + 1)
+		mant = (v>>shift)&(1<<uint(k)-1) | 1
+		return mant, shift
+	}
+	ma, sa := reduce(a)
+	mb, sb := reduce(bv)
+	return (ma * mb) << (sa + sb) & (1<<uint(2*n) - 1)
+}

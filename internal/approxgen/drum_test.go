@@ -1,0 +1,121 @@
+package approxgen
+
+import (
+	"testing"
+
+	"autoax/internal/netlist"
+)
+
+func TestDRUMMatchesReferenceExhaustive8(t *testing.T) {
+	for _, k := range []int{3, 4, 6} {
+		m := DRUMMultiplier(8, k)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		fn := m.WordFunc(8, 8)
+		for a := uint64(0); a < 256; a++ {
+			for b := uint64(0); b < 256; b++ {
+				want := DRUMReference(a, b, 8, k)
+				if got := fn(a, b); got != want {
+					t.Fatalf("k=%d: drum(%d,%d) = %d, want %d", k, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDRUMSmallOperandsExact(t *testing.T) {
+	// Operands fitting k bits multiply exactly.
+	k := 4
+	fn := DRUMMultiplier(8, k).WordFunc(8, 8)
+	for a := uint64(0); a < 16; a++ {
+		for b := uint64(0); b < 16; b++ {
+			if got := fn(a, b); got != a*b {
+				t.Fatalf("drum small %d×%d = %d, want %d", a, b, got, a*b)
+			}
+		}
+	}
+}
+
+func TestDRUMRelativeErrorBounded(t *testing.T) {
+	// Each operand is approximated within ±2^(1−k) of its value, so the
+	// product error is bounded by (1+2^(1−k))² − 1 (≈ +26.6% for k=4,
+	// +6.3% for k=6); the negative side is strictly tighter.
+	for _, k := range []int{4, 6} {
+		e := 1.0 / float64(uint64(1)<<uint(k-1))
+		bound := (1+e)*(1+e) - 1
+		for a := uint64(1); a < 256; a++ {
+			for b := uint64(1); b < 256; b++ {
+				exact := float64(a * b)
+				rel := (float64(DRUMReference(a, b, 8, k)) - exact) / exact
+				if rel > bound+1e-12 || rel < -bound-1e-12 {
+					t.Fatalf("k=%d: drum(%d,%d) relative error %.4f beyond ±%.4f", k, a, b, rel, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestDRUMErrorIsUnbiased(t *testing.T) {
+	// The forced-one LSB centres the error distribution — DRUM's headline
+	// property.  Compare against the same reduction *without* the forced
+	// one (plain truncation), which underestimates systematically.
+	k := 4
+	truncRef := func(a, b uint64) float64 {
+		reduce := func(v uint64) (uint64, uint64) {
+			lead := 0
+			for v>>uint(lead+1) != 0 {
+				lead++
+			}
+			if lead < k {
+				return v, 0
+			}
+			s := uint64(lead - k + 1)
+			return (v >> s) & (1<<uint(k) - 1), s
+		}
+		ma, sa := reduce(a)
+		mb, sb := reduce(b)
+		return float64((ma * mb) << (sa + sb))
+	}
+	var sumDrum, sumTrunc float64
+	var count int
+	for a := uint64(1); a < 256; a++ {
+		for b := uint64(1); b < 256; b++ {
+			exact := float64(a * b)
+			sumDrum += (float64(DRUMReference(a, b, 8, k)) - exact) / exact
+			sumTrunc += (truncRef(a, b) - exact) / exact
+			count++
+		}
+	}
+	meanDrum := sumDrum / float64(count)
+	meanTrunc := sumTrunc / float64(count)
+	abs := func(v float64) float64 {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	if abs(meanDrum) > 0.03 {
+		t.Errorf("DRUM mean relative error %.4f, want near zero", meanDrum)
+	}
+	if abs(meanDrum) >= abs(meanTrunc) {
+		t.Errorf("DRUM bias %.4f should beat plain truncation bias %.4f", meanDrum, meanTrunc)
+	}
+}
+
+func TestDRUMCheaperThanExact(t *testing.T) {
+	drum := netlist.Simplify(DRUMMultiplier(8, 4)).Analyze().Area
+	exact := netlist.Simplify(BAMMultiplier(8, 0, 0)).Analyze().Area
+	if drum >= exact {
+		t.Errorf("DRUM k=4 area %.1f should beat exact %.1f", drum, exact)
+	}
+}
+
+func TestDRUMZeroOperands(t *testing.T) {
+	fn := DRUMMultiplier(8, 4).WordFunc(8, 8)
+	for v := uint64(0); v < 256; v += 13 {
+		if fn(0, v) != 0 || fn(v, 0) != 0 {
+			t.Fatalf("zero operand not handled for v=%d", v)
+		}
+	}
+}

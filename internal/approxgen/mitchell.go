@@ -1,0 +1,166 @@
+package approxgen
+
+import (
+	"fmt"
+
+	"autoax/internal/arith"
+	"autoax/internal/netlist"
+)
+
+// MitchellMultiplier returns an n-bit Mitchell logarithmic multiplier with
+// fracBits fraction bits (1 ≤ fracBits ≤ n−1); n must be a power of two.
+//
+// Mitchell's algorithm approximates log₂ of each operand by the index of
+// its leading one plus the bits below it read as a binary fraction, adds
+// the logarithms, and converts back:
+//
+//	P ≈ (2^F + f_a·2^F + f_b·2^F) << (k_a + k_b + carry − F)
+//
+// where the carry of the fraction sum selects the 2^(k+1)·(f_a+f_b) branch.
+// The design needs no partial-product array at all — leading-one detectors,
+// two small adders and a barrel shifter — and always underestimates the
+// true product.  Truncating the fraction (fracBits < n−1) trades further
+// accuracy for area.
+func MitchellMultiplier(n, fracBits int) *netlist.Netlist {
+	if n&(n-1) != 0 || n < 4 {
+		panic(fmt.Sprintf("approxgen: MitchellMultiplier width %d is not a power of two ≥ 4", n))
+	}
+	if fracBits < 1 {
+		fracBits = 1
+	}
+	if fracBits > n-1 {
+		fracBits = n - 1
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d_mitchell_f%d", n, fracBits), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+
+	ka, fa, aZero := logEncode(b, a, fracBits)
+	kb, fb, bZero := logEncode(b, y, fracBits)
+	zero := b.Or(aZero, bZero)
+
+	// Fraction sum: F bits + carry.
+	fsum := arith.AddBus(b, fa, fb, netlist.Const0) // fracBits+1 bits
+	carry := fsum[fracBits]
+
+	// Characteristic sum plus the fraction carry: shift amount.
+	k := arith.AddBus(b, ka, kb, netlist.Const0) // log2(n)+1 bits
+	shift := arith.AddBus(b, k, arith.Bus{carry}, netlist.Const0)
+
+	// Base mantissa: 1.fsum (the implicit one covers both carry branches).
+	base := make(arith.Bus, fracBits+1)
+	copy(base, fsum[:fracBits])
+	base[fracBits] = netlist.Const1
+
+	// Barrel-shift base left by `shift`, then drop the F fraction bits.
+	maxShift := 2*(n-1) + 1
+	ext := arith.PadBus(base, fracBits+1+maxShift)
+	for stage := 0; (1 << stage) <= maxShift; stage++ {
+		amt := 1 << stage
+		if stage >= len(shift) {
+			break
+		}
+		sel := shift[stage]
+		next := make(arith.Bus, len(ext))
+		for i := range ext {
+			var from netlist.Signal = netlist.Const0
+			if i-amt >= 0 {
+				from = ext[i-amt]
+			}
+			next[i] = b.Mux(sel, ext[i], from)
+		}
+		ext = next
+	}
+
+	out := make(arith.Bus, 2*n)
+	for i := range out {
+		src := ext[fracBits+i]
+		out[i] = b.AndNot(src, zero)
+	}
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// logEncode emits the leading-one detector for bus x: the binary
+// characteristic k (⌈log2 len(x)⌉ bits), the top fracBits fraction bits of
+// the normalized operand, and a zero flag.
+func logEncode(b *netlist.Builder, x arith.Bus, fracBits int) (k, frac arith.Bus, zero netlist.Signal) {
+	n := len(x)
+	// One-hot leading-one: lead[i] = x[i] AND NOT (x[i+1] | … | x[n-1]).
+	lead := make(arith.Bus, n)
+	var above netlist.Signal = netlist.Const0
+	for i := n - 1; i >= 0; i-- {
+		lead[i] = b.AndNot(x[i], above)
+		above = b.Or(above, x[i])
+	}
+	zero = b.Not(above)
+
+	// Binary characteristic from the one-hot vector.
+	kw := 0
+	for 1<<kw < n {
+		kw++
+	}
+	k = make(arith.Bus, kw)
+	for j := 0; j < kw; j++ {
+		var terms arith.Bus
+		for i := 0; i < n; i++ {
+			if i>>uint(j)&1 == 1 {
+				terms = append(terms, lead[i])
+			}
+		}
+		k[j] = b.OrMany(terms...)
+	}
+
+	// Normalized fraction: bit t of (x << (n−1−k)) for t = n−2 … n−1−F,
+	// via the one-hot select: norm_t = OR_i lead[i] AND x[i+t−(n−1)].
+	frac = make(arith.Bus, fracBits)
+	for fi := 0; fi < fracBits; fi++ {
+		t := n - 2 - fi // MSB-first fraction bit position
+		var terms arith.Bus
+		for i := 0; i < n; i++ {
+			src := i + t - (n - 1)
+			if src >= 0 && src < n {
+				terms = append(terms, b.And(lead[i], x[src]))
+			}
+		}
+		// frac is little-endian within its own bus: align so that
+		// frac[fracBits-1] is the first bit below the leading one.
+		frac[fracBits-1-fi] = b.OrMany(terms...)
+	}
+	return k, frac, zero
+}
+
+// MitchellReference is the bit-exact software model of MitchellMultiplier,
+// used by tests and available for callers wanting the arithmetic without a
+// netlist.
+func MitchellReference(a, bv uint64, n, fracBits int) uint64 {
+	if fracBits < 1 {
+		fracBits = 1
+	}
+	if fracBits > n-1 {
+		fracBits = n - 1
+	}
+	if a == 0 || bv == 0 {
+		return 0
+	}
+	lead := func(v uint64) int {
+		k := 0
+		for v>>uint(k+1) != 0 {
+			k++
+		}
+		return k
+	}
+	ka, kb := lead(a), lead(bv)
+	fracOf := func(v uint64, k int) uint64 {
+		// Normalize so the leading one sits at bit n−1, take the top
+		// fracBits below it.
+		norm := v << uint(n-1-k)
+		return (norm >> uint(n-1-fracBits)) & (1<<uint(fracBits) - 1)
+	}
+	fa, fb := fracOf(a, ka), fracOf(bv, kb)
+	fsum := fa + fb
+	carry := fsum >> uint(fracBits)
+	base := fsum&(1<<uint(fracBits)-1) | 1<<uint(fracBits)
+	shift := uint64(ka+kb) + carry
+	p := base << shift >> uint(fracBits)
+	return p & (1<<uint(2*n) - 1)
+}

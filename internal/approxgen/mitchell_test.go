@@ -1,0 +1,133 @@
+package approxgen
+
+import (
+	"testing"
+
+	"autoax/internal/netlist"
+)
+
+func TestMitchellMatchesReferenceExhaustive4(t *testing.T) {
+	for f := 1; f <= 3; f++ {
+		m := MitchellMultiplier(4, f)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		fn := m.WordFunc(4, 4)
+		for a := uint64(0); a < 16; a++ {
+			for b := uint64(0); b < 16; b++ {
+				want := MitchellReference(a, b, 4, f)
+				if got := fn(a, b); got != want {
+					t.Fatalf("f=%d: mitchell(%d,%d) = %d, want %d", f, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMitchellMatchesReferenceExhaustive8(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, f := range []int{3, 7} {
+		m := MitchellMultiplier(8, f)
+		fn := m.WordFunc(8, 8)
+		for a := uint64(0); a < 256; a++ {
+			for b := uint64(0); b < 256; b++ {
+				want := MitchellReference(a, b, 8, f)
+				if got := fn(a, b); got != want {
+					t.Fatalf("f=%d: mitchell(%d,%d) = %d, want %d", f, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMitchellNeverOverestimates(t *testing.T) {
+	// Classic Mitchell property: the log-linear interpolation always
+	// underestimates the true product (and fraction truncation only
+	// lowers it further).
+	for _, f := range []int{1, 4, 7} {
+		for a := uint64(0); a < 256; a++ {
+			for b := uint64(0); b < 256; b++ {
+				if got := MitchellReference(a, b, 8, f); got > a*b {
+					t.Fatalf("f=%d: mitchell(%d,%d) = %d > exact %d", f, a, b, got, a*b)
+				}
+			}
+		}
+	}
+}
+
+func TestMitchellAccuracyProfile(t *testing.T) {
+	// Mitchell's classic error bounds: worst-case ≈ 11.1% (at operands
+	// like 3×3 → 8 vs 9), average ≈ 3.8% with the full fraction.
+	// Truncated fractions degrade the mean monotonically.
+	prevMean := -1.0
+	for _, f := range []int{7, 5, 3, 1} {
+		var sumRel float64
+		var count int
+		var maxRel float64
+		for a := uint64(1); a < 256; a++ {
+			for b := uint64(1); b < 256; b++ {
+				exact := float64(a * b)
+				rel := (exact - float64(MitchellReference(a, b, 8, f))) / exact
+				sumRel += rel
+				count++
+				if rel > maxRel {
+					maxRel = rel
+				}
+			}
+		}
+		mean := sumRel / float64(count)
+		if f == 7 {
+			if maxRel > 0.112 {
+				t.Errorf("full Mitchell worst relative error %.4f, expected ≤ ~0.111", maxRel)
+			}
+			if mean > 0.05 {
+				t.Errorf("full Mitchell mean relative error %.4f, expected ≈ 0.038", mean)
+			}
+		}
+		if mean < prevMean {
+			t.Errorf("f=%d: mean relative error %.4f decreased below %.4f", f, mean, prevMean)
+		}
+		prevMean = mean
+	}
+}
+
+func TestMitchellZeroOperands(t *testing.T) {
+	m := MitchellMultiplier(8, 7)
+	fn := m.WordFunc(8, 8)
+	for v := uint64(0); v < 256; v += 17 {
+		if got := fn(0, v); got != 0 {
+			t.Fatalf("0×%d = %d", v, got)
+		}
+		if got := fn(v, 0); got != 0 {
+			t.Fatalf("%d×0 = %d", v, got)
+		}
+	}
+}
+
+func TestMitchellCheaperThanExact(t *testing.T) {
+	// No partial-product array: Mitchell should synthesize smaller than
+	// the exact Dadda multiplier at 8 bits.
+	mit := netlist.Simplify(MitchellMultiplier(8, 7)).Analyze()
+	if mit.Area <= 0 {
+		t.Fatal("no area")
+	}
+	exact := netlist.Simplify(BAMMultiplier(8, 0, 0)).Analyze()
+	if mit.Area >= exact.Area {
+		t.Errorf("mitchell area %.1f should beat exact array %.1f", mit.Area, exact.Area)
+	}
+}
+
+func TestMitchellPowersOfTwoExact(t *testing.T) {
+	// Both operands powers of two → fractions are zero → result exact.
+	fn := MitchellMultiplier(8, 7).WordFunc(8, 8)
+	for i := uint(0); i < 8; i++ {
+		for j := uint(0); j < 8; j++ {
+			a, b := uint64(1)<<i, uint64(1)<<j
+			if got := fn(a, b); got != a*b {
+				t.Fatalf("2^%d × 2^%d = %d, want %d", i, j, got, a*b)
+			}
+		}
+	}
+}

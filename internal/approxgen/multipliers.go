@@ -1,0 +1,130 @@
+package approxgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autoax/internal/arith"
+	"autoax/internal/netlist"
+)
+
+// BAMMultiplier returns a broken-array multiplier: partial products with
+// bit weight below vbl (the vertical break level) are omitted, and hbl
+// additionally removes partial products from the hbl least-significant
+// multiplier rows within the kept region (the horizontal break).
+// BAM(n, 0, 0) is exact.
+func BAMMultiplier(n, vbl, hbl int) *netlist.Netlist {
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d_bam_v%d_h%d", n, vbl, hbl), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	cols := make([]arith.Bus, 2*n-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+j < vbl {
+				continue // vertical break: below significance threshold
+			}
+			if j < hbl && i+j < vbl+n-hbl {
+				continue // horizontal break: thin out low rows near the cut
+			}
+			cols[i+j] = append(cols[i+j], b.And(a[i], y[j]))
+		}
+	}
+	r0, r1 := arith.CompressColumns(b, cols)
+	sum := arith.AddBus(b, r0, r1, netlist.Const0)
+	b.OutputBus(arith.PadBus(sum, 2*n)[:2*n])
+	return b.Build()
+}
+
+// TruncMultiplier returns a multiplier whose k low output columns are
+// dropped entirely (outputs constant zero) — the classic fixed-width
+// truncated multiplier.
+func TruncMultiplier(n, k int) *netlist.Netlist {
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d_trunc%d", n, k), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	cols := make([]arith.Bus, 2*n-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i+j < k {
+				continue
+			}
+			cols[i+j] = append(cols[i+j], b.And(a[i], y[j]))
+		}
+	}
+	r0, r1 := arith.CompressColumns(b, cols)
+	sum := arith.AddBus(b, r0, r1, netlist.Const0)
+	out := arith.PadBus(sum, 2*n)[:2*n]
+	for i := 0; i < k && i < 2*n; i++ {
+		out[i] = netlist.Const0
+	}
+	b.OutputBus(out)
+	return b.Build()
+}
+
+// PrunedMultiplier returns a Dadda multiplier where a seeded random subset
+// of partial-product bits is dropped.  Lower-significance bits are dropped
+// preferentially (probability scales with distance from the MSB column), so
+// generated variants stay in the useful accuracy range.  This family plays
+// the role of the CGP-evolved EvoApprox multipliers: a dense cloud of
+// design points between the named families.
+func PrunedMultiplier(n int, intensity float64, seed int64) *netlist.Netlist {
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d_pruned_i%03.0f_s%d", n, intensity*100, seed), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([]arith.Bus, 2*n-1)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w := i + j
+			// Drop probability decays with significance: weight 0 bits are
+			// dropped with probability `intensity`, the MSB column never.
+			pDrop := intensity * (1 - float64(w)/float64(2*n-2))
+			if rng.Float64() < pDrop {
+				continue
+			}
+			cols[w] = append(cols[w], b.And(a[i], y[j]))
+		}
+	}
+	r0, r1 := arith.CompressColumns(b, cols)
+	sum := arith.AddBus(b, r0, r1, netlist.Const0)
+	b.OutputBus(arith.PadBus(sum, 2*n)[:2*n])
+	return b.Build()
+}
+
+// UDMMultiplier composes an n×n multiplier (n must be even) from 2×2
+// sub-multipliers; mask bit (i/2)*(n/2)+(j/2) selects the approximate
+// Kulkarni block (3×3 → 7) for the limb pair (i, j), otherwise the exact
+// 2×2 block is used.  mask = 0 is exact.
+func UDMMultiplier(n int, mask uint64) *netlist.Netlist {
+	if n%2 != 0 {
+		panic("approxgen: UDMMultiplier needs even width")
+	}
+	b := netlist.NewBuilder(fmt.Sprintf("mul%d_udm_%x", n, mask), 2*n)
+	a, y := b.Inputs()[:n], b.Inputs()[n:]
+	half := n / 2
+	cols := make([]arith.Bus, 2*n-1)
+	for bi := 0; bi < half; bi++ {
+		for bj := 0; bj < half; bj++ {
+			approx := mask&(1<<uint(bi*half+bj)) != 0
+			a0, a1 := a[2*bi], a[2*bi+1]
+			y0, y1 := y[2*bj], y[2*bj+1]
+			shift := 2 * (bi + bj)
+			p00 := b.And(a0, y0)
+			p10 := b.And(a1, y0)
+			p01 := b.And(a0, y1)
+			p11 := b.And(a1, y1)
+			if approx {
+				// Kulkarni block: m0 = p00, m1 = p10 OR p01, m2 = p11.
+				cols[shift] = append(cols[shift], p00)
+				cols[shift+1] = append(cols[shift+1], b.Or(p10, p01))
+				cols[shift+2] = append(cols[shift+2], p11)
+			} else {
+				// Exact 2×2 block: 4 product bits fed to the column tree.
+				cols[shift] = append(cols[shift], p00)
+				cols[shift+1] = append(cols[shift+1], p10, p01)
+				cols[shift+2] = append(cols[shift+2], p11)
+			}
+		}
+	}
+	r0, r1 := arith.CompressColumns(b, cols)
+	sum := arith.AddBus(b, r0, r1, netlist.Const0)
+	b.OutputBus(arith.PadBus(sum, 2*n)[:2*n])
+	return b.Build()
+}

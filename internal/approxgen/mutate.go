@@ -1,0 +1,54 @@
+package approxgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autoax/internal/cell"
+	"autoax/internal/netlist"
+)
+
+// Mutate returns a structurally perturbed copy of base: ops random
+// approximation moves are applied, each either tying a gate output to a
+// constant, bypassing a gate with one of its operands, or exchanging the
+// gate's function for a related one.  The result is functionally degraded
+// but structurally valid; it plays the role of the CGP-evolved circuits in
+// EvoApprox-style libraries.  The same (base, ops, seed) always yields the
+// same mutant.
+func Mutate(base *netlist.Netlist, ops int, seed int64) *netlist.Netlist {
+	n := base.Clone()
+	n.Name = fmt.Sprintf("%s_mut%d_s%d", base.Name, ops, seed)
+	if len(n.Gates) == 0 {
+		return n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	twoInput := []cell.Kind{cell.And2, cell.Or2, cell.Nand2, cell.Nor2, cell.Xor2, cell.Xnor2, cell.AndN2, cell.OrN2}
+	for m := 0; m < ops; m++ {
+		gi := rng.Intn(len(n.Gates))
+		g := &n.Gates[gi]
+		switch rng.Intn(4) {
+		case 0: // tie to constant 0
+			*g = netlist.Gate{Kind: cell.Buf, A: netlist.Const0}
+		case 1: // tie to constant 1
+			*g = netlist.Gate{Kind: cell.Buf, A: netlist.Const1}
+		case 2: // bypass with an operand
+			op := g.A
+			if cell.Arity(g.Kind) >= 2 && rng.Intn(2) == 1 {
+				op = g.B
+			}
+			*g = netlist.Gate{Kind: cell.Buf, A: op}
+		case 3: // swap the Boolean function
+			if cell.Arity(g.Kind) == 2 {
+				g.Kind = twoInput[rng.Intn(len(twoInput))]
+			} else {
+				// Unary or mux: flip between Buf and Inv on operand A.
+				if g.Kind == cell.Inv {
+					g.Kind = cell.Buf
+				} else {
+					*g = netlist.Gate{Kind: cell.Inv, A: g.A}
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package approxgen
+
+import "testing"
+
+// TestSmallBudgetIncludesNewFamilies documents the enumeration order
+// guarantee the experiment scales rely on: a 400-circuit multiplier budget
+// (the "small" scale) includes the Mitchell and DRUM families.
+func TestSmallBudgetIncludesNewFamilies(t *testing.T) {
+	families := map[string]int{}
+	for _, v := range MultiplierVariants(8, 400, 1) {
+		families[v.Family]++
+	}
+	for _, f := range []string{"mitchell", "drum"} {
+		if families[f] == 0 {
+			t.Errorf("family %q missing at the 400-circuit budget: %v", f, families)
+		}
+	}
+	if families["mitchell"] != 7 || families["drum"] != 6 {
+		t.Errorf("unexpected family sizes: %v", families)
+	}
+}

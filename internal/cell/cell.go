@@ -1,0 +1,102 @@
+// Package cell models a 45 nm-style standard-cell library.
+//
+// It is the cost substrate that stands in for the Synopsys Design Compiler
+// 45 nm flow used by the autoAx paper: every logic gate of a netlist maps to
+// one cell, and the netlist analyzer sums cell areas, walks critical paths
+// over cell delays, and combines leakage with switching energy to obtain
+// power.  The absolute numbers are representative of open 45 nm libraries
+// (NangateOpenCellLibrary-like magnitudes); the methodology only relies on
+// their relative ordering.
+package cell
+
+import "fmt"
+
+// Kind enumerates the primitive cells available to netlists.
+type Kind uint8
+
+// The available cell kinds.  ANDN2 computes a AND NOT b, ORN2 computes
+// a OR NOT b; both are provided so that synthesis can fold inverters.
+const (
+	Buf Kind = iota
+	Inv
+	And2
+	Or2
+	Nand2
+	Nor2
+	Xor2
+	Xnor2
+	Mux2 // Mux2(sel, a, b) = sel ? b : a
+	AndN2
+	OrN2
+	numKinds
+)
+
+// NumKinds is the number of distinct cell kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [NumKinds]string{
+	"BUF", "INV", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "XNOR2", "MUX2", "ANDN2", "ORN2",
+}
+
+// String returns the conventional library name of the cell kind.
+func (k Kind) String() string {
+	if int(k) < NumKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Params holds the electrical characterization of one cell.
+type Params struct {
+	Area    float64 // µm²
+	Delay   float64 // ns, input-to-output worst case
+	Leakage float64 // nW static leakage
+	Energy  float64 // fJ consumed per output toggle (internal + load)
+}
+
+// params is indexed by Kind.  Magnitudes follow a typical open 45 nm
+// library: an inverter is the unit cell; XOR/XNOR/MUX cost roughly 2.5–3
+// NAND equivalents; NAND/NOR are cheaper and faster than AND/OR (which hide
+// an output inverter).
+var params = [NumKinds]Params{
+	Buf:   {Area: 0.80, Delay: 0.020, Leakage: 8.5, Energy: 0.25},
+	Inv:   {Area: 0.53, Delay: 0.012, Leakage: 5.8, Energy: 0.15},
+	And2:  {Area: 1.06, Delay: 0.032, Leakage: 14.2, Energy: 0.42},
+	Or2:   {Area: 1.06, Delay: 0.034, Leakage: 14.6, Energy: 0.44},
+	Nand2: {Area: 0.80, Delay: 0.018, Leakage: 10.6, Energy: 0.30},
+	Nor2:  {Area: 0.80, Delay: 0.022, Leakage: 11.0, Energy: 0.32},
+	Xor2:  {Area: 1.60, Delay: 0.046, Leakage: 22.4, Energy: 0.69},
+	Xnor2: {Area: 1.60, Delay: 0.044, Leakage: 22.0, Energy: 0.67},
+	Mux2:  {Area: 1.86, Delay: 0.040, Leakage: 24.1, Energy: 0.72},
+	AndN2: {Area: 1.06, Delay: 0.030, Leakage: 14.0, Energy: 0.41},
+	OrN2:  {Area: 1.06, Delay: 0.033, Leakage: 14.4, Energy: 0.43},
+}
+
+// Lookup returns the electrical parameters of a cell kind.
+func Lookup(k Kind) Params {
+	return params[k]
+}
+
+// Area returns the cell area in µm².
+func Area(k Kind) float64 { return params[k].Area }
+
+// Delay returns the worst-case propagation delay in ns.
+func Delay(k Kind) float64 { return params[k].Delay }
+
+// Leakage returns the static leakage power in nW.
+func Leakage(k Kind) float64 { return params[k].Leakage }
+
+// Energy returns the energy per output toggle in fJ.
+func Energy(k Kind) float64 { return params[k].Energy }
+
+// Arity returns the number of data inputs the cell consumes.
+func Arity(k Kind) int {
+	switch k {
+	case Buf, Inv:
+		return 1
+	case Mux2:
+		return 3
+	default:
+		return 2
+	}
+}

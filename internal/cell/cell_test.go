@@ -1,0 +1,52 @@
+package cell
+
+import "testing"
+
+func TestParamsPositive(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		p := Lookup(k)
+		if p.Area <= 0 || p.Delay <= 0 || p.Leakage <= 0 || p.Energy <= 0 {
+			t.Errorf("%v: non-positive parameter %+v", k, p)
+		}
+	}
+}
+
+func TestRelativeOrdering(t *testing.T) {
+	// Sanity constraints a realistic 45 nm library satisfies; cost-model
+	// conclusions in the experiments depend on these orderings.
+	if !(Area(Inv) < Area(Nand2)) {
+		t.Error("INV should be smaller than NAND2")
+	}
+	if !(Area(Nand2) < Area(And2)) {
+		t.Error("NAND2 should be smaller than AND2 (AND hides an inverter)")
+	}
+	if !(Area(Xor2) > Area(And2)) {
+		t.Error("XOR2 should be larger than AND2")
+	}
+	if !(Delay(Nand2) < Delay(Xor2)) {
+		t.Error("NAND2 should be faster than XOR2")
+	}
+}
+
+func TestArity(t *testing.T) {
+	if Arity(Inv) != 1 || Arity(Buf) != 1 {
+		t.Error("unary cells must have arity 1")
+	}
+	if Arity(Mux2) != 3 {
+		t.Error("MUX2 must have arity 3")
+	}
+	for _, k := range []Kind{And2, Or2, Nand2, Nor2, Xor2, Xnor2, AndN2, OrN2} {
+		if Arity(k) != 2 {
+			t.Errorf("%v must have arity 2", k)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if Nand2.String() != "NAND2" {
+		t.Errorf("got %q", Nand2.String())
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should still stringify")
+	}
+}

@@ -1,0 +1,45 @@
+package core
+
+import "testing"
+
+func TestAutoEngineSelection(t *testing.T) {
+	app, lib, images := sobelFixture(t)
+	cfg := testConfig()
+	cfg.AutoEngine = true
+	cfg.TrainConfigs = 80
+	cfg.TestConfigs = 40
+	p, err := NewPipeline(app, lib, images, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Opt.Engine.Name == "" {
+		t.Fatal("no engine selected")
+	}
+	t.Logf("auto-selected engine: %s (QoR fidelity %.2f, HW fidelity %.2f)",
+		p.Opt.Engine.Name, p.QoRFidelity, p.HWFidelity)
+	// The winner must not be one of the engines that collapse on this
+	// problem's raw feature scales.
+	for _, bad := range []string{"Stochastic Gradient Descent", "Kernel ridge"} {
+		if p.Opt.Engine.Name == bad {
+			t.Errorf("bake-off selected a collapsing engine: %s", bad)
+		}
+	}
+}
+
+func TestAutoEngineTooFewSamples(t *testing.T) {
+	app, lib, images := sobelFixture(t)
+	cfg := testConfig()
+	cfg.AutoEngine = true
+	cfg.TrainConfigs = 2
+	cfg.TestConfigs = 2
+	p, err := NewPipeline(app, lib, images, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Train(); err == nil {
+		t.Error("expected error with 2 training samples")
+	}
+}

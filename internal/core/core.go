@@ -1,0 +1,289 @@
+// Package core orchestrates the complete autoAx methodology — the paper's
+// primary contribution (Figure 1):
+//
+//	Step 1  Library pre-processing: profile the accelerator on benchmark
+//	        data, score every library circuit by WMED under the profiled
+//	        operand PMFs, and keep only (WMED, area) Pareto-optimal
+//	        circuits per operation → reduced libraries RL_k.
+//	Step 2  Model construction: evaluate a few thousand random
+//	        configurations precisely (simulation + synthesis) and train two
+//	        regression models — WMED features → SSIM and area/power/delay
+//	        features → synthesized area — selected and judged by fidelity.
+//	Step 3  Model-based DSE: Algorithm 1 hill climbing over the reduced
+//	        space using only model estimates (pseudo Pareto set), then
+//	        precise re-evaluation of the survivors and construction of the
+//	        final Pareto front over real SSIM, area and energy.
+//
+// The stages are exposed individually so the experiment drivers can reuse
+// intermediate products (Table 3 compares engines on the Step 2 samples;
+// Table 4 compares searches inside the Step 3 estimator space).
+package core
+
+import (
+	"fmt"
+
+	"autoax/internal/accel"
+	"autoax/internal/acl"
+	"autoax/internal/dse"
+	"autoax/internal/imagedata"
+	"autoax/internal/ml"
+	"autoax/internal/pareto"
+	"autoax/internal/pmf"
+)
+
+// Config sets the methodology's budget knobs.
+type Config struct {
+	// TrainConfigs / TestConfigs: random configurations precisely
+	// evaluated for model fitting and validation (paper: 1500/1500 for
+	// Sobel, 4000/1000 for the Gaussian filters).
+	TrainConfigs int
+	TestConfigs  int
+	// Engine is the learning engine (default: Random Forest, the paper's
+	// winner).
+	Engine ml.EngineSpec
+	// AutoEngine, when set, selects the engine by validation fidelity
+	// instead of using Engine — the paper's §2.3 remedy when the chosen
+	// engine's fidelity is insufficient, automated: the training samples
+	// are split 70/30, every registry engine is fitted on the first part
+	// and scored on the second, and the best mean (QoR, HW) fidelity wins.
+	AutoEngine bool
+	// SearchEvals is the Algorithm 1 estimator budget (paper: 10⁵–10⁶).
+	SearchEvals int
+	// Stagnation is the restart threshold of Algorithm 1 (paper: 50).
+	Stagnation int
+	// Seed drives every random choice.
+	Seed int64
+}
+
+// DefaultConfig returns paper-like settings scaled for one desktop CPU.
+func DefaultConfig() Config {
+	return Config{
+		TrainConfigs: 1500,
+		TestConfigs:  1500,
+		Engine:       ml.Engines()[0], // Random Forest
+		SearchEvals:  100000,
+		Stagnation:   50,
+		Seed:         1,
+	}
+}
+
+// Pipeline carries the state of one methodology run on one accelerator.
+type Pipeline struct {
+	App    *accel.ImageApp
+	Lib    *acl.Library
+	Images []*imagedata.Image
+	Opt    Config
+
+	// Products of the stages, in order of appearance.
+	Ev        *accel.Evaluator
+	PMFs      []*pmf.PMF
+	Space     dse.Space
+	TrainCfgs [][]int
+	TrainRes  []accel.Result
+	TestCfgs  [][]int
+	TestRes   []accel.Result
+	Models    *dse.Models
+	// QoRFidelity / HWFidelity: test-set fidelities of the trained models.
+	QoRFidelity float64
+	HWFidelity  float64
+	Pseudo      *pareto.Archive[[]int]
+	FinalCfgs   [][]int
+	FinalRes    []accel.Result
+	// FinalFront indexes FinalCfgs/FinalRes: the configurations Pareto-
+	// optimal in (SSIM, area, energy) measured on real values.
+	FinalFront []int
+}
+
+// NewPipeline validates inputs and prepares the precise evaluator.
+func NewPipeline(app *accel.ImageApp, lib *acl.Library, images []*imagedata.Image, opt Config) (*Pipeline, error) {
+	if opt.Engine.New == nil {
+		opt.Engine = DefaultConfig().Engine
+	}
+	if opt.Seed == 0 {
+		opt.Seed = 1
+	}
+	ev, err := accel.NewEvaluator(app, images)
+	if err != nil {
+		return nil, err
+	}
+	for op := range app.Graph.OpCounts() {
+		if len(lib.For(op)) == 0 {
+			return nil, fmt.Errorf("core: library has no circuits for %s", op)
+		}
+	}
+	return &Pipeline{App: app, Lib: lib, Images: images, Opt: opt, Ev: ev}, nil
+}
+
+// Reduce performs Step 1: profiling and per-operation library reduction.
+func (p *Pipeline) Reduce() error {
+	p.PMFs = p.App.Profile(p.Images)
+	ops := p.App.Graph.OpNodes()
+	p.Space = make(dse.Space, len(ops))
+	for i, id := range ops {
+		op := p.App.Graph.Nodes[id].Op
+		// Score/filter a private copy: two nodes of the same op type have
+		// different PMFs and must not share WMED fields.
+		src := p.Lib.For(op)
+		copies := make([]*acl.Circuit, len(src))
+		for j, c := range src {
+			cc := *c
+			copies[j] = &cc
+		}
+		p.Space[i] = acl.Reduce(copies, p.PMFs[i])
+	}
+	return p.Space.Validate()
+}
+
+// GenerateSamples performs the data-collection half of Step 2: random
+// configurations evaluated precisely for training and testing.
+func (p *Pipeline) GenerateSamples() error {
+	if p.Space == nil {
+		if err := p.Reduce(); err != nil {
+			return err
+		}
+	}
+	var err error
+	p.TrainCfgs = p.Space.RandomConfigs(p.Opt.TrainConfigs, p.Opt.Seed+100)
+	p.TrainRes, err = dse.EvaluateAll(p.Ev, p.Space, p.TrainCfgs)
+	if err != nil {
+		return err
+	}
+	p.TestCfgs = p.Space.RandomConfigs(p.Opt.TestConfigs, p.Opt.Seed+200)
+	p.TestRes, err = dse.EvaluateAll(p.Ev, p.Space, p.TestCfgs)
+	return err
+}
+
+// Train performs the learning half of Step 2 with the configured engine
+// (or, with AutoEngine, the engine winning a validation-fidelity bake-off)
+// and records test fidelities.
+func (p *Pipeline) Train() error {
+	if p.TrainRes == nil {
+		if err := p.GenerateSamples(); err != nil {
+			return err
+		}
+	}
+	engine := p.Opt.Engine
+	if p.Opt.AutoEngine {
+		var err error
+		engine, err = p.selectEngine()
+		if err != nil {
+			return err
+		}
+		p.Opt.Engine = engine
+	}
+	m, err := dse.TrainModels(engine, p.Opt.Seed, p.Space, p.TrainCfgs, p.TrainRes)
+	if err != nil {
+		return err
+	}
+	p.Models = m
+	xq, yq, xh, yh := dse.BuildTrainingData(p.Space, p.TestCfgs, p.TestRes)
+	p.QoRFidelity = dse.ModelFidelity(m.QoR, xq, yq)
+	p.HWFidelity = dse.ModelFidelity(m.HW, xh, yh)
+	return nil
+}
+
+// selectEngine runs the engine bake-off on a 70/30 split of the training
+// samples and returns the engine with the best mean validation fidelity.
+func (p *Pipeline) selectEngine() (ml.EngineSpec, error) {
+	cut := len(p.TrainCfgs) * 7 / 10
+	if cut < 2 || len(p.TrainCfgs)-cut < 2 {
+		return p.Opt.Engine, fmt.Errorf("core: too few samples (%d) for engine selection", len(p.TrainCfgs))
+	}
+	fitCfgs, valCfgs := p.TrainCfgs[:cut], p.TrainCfgs[cut:]
+	fitRes, valRes := p.TrainRes[:cut], p.TrainRes[cut:]
+	xqV, yqV, xhV, yhV := dse.BuildTrainingData(p.Space, valCfgs, valRes)
+	best := ml.EngineSpec{}
+	bestScore := -1.0
+	for _, spec := range ml.Engines() {
+		m, err := dse.TrainModels(spec, p.Opt.Seed, p.Space, fitCfgs, fitRes)
+		if err != nil {
+			continue // an engine failing to fit simply loses the bake-off
+		}
+		score := (dse.ModelFidelity(m.QoR, xqV, yqV) + dse.ModelFidelity(m.HW, xhV, yhV)) / 2
+		if score > bestScore {
+			bestScore, best = score, spec
+		}
+	}
+	if best.New == nil {
+		return p.Opt.Engine, fmt.Errorf("core: engine selection found no usable engine")
+	}
+	return best, nil
+}
+
+// Explore performs the first half of Step 3: Algorithm 1 over the model
+// estimates, producing the pseudo Pareto set.
+func (p *Pipeline) Explore() error {
+	if p.Models == nil {
+		if err := p.Train(); err != nil {
+			return err
+		}
+	}
+	p.Pseudo = dse.HillClimb(p.Space, p.Models.Estimator(), dse.SearchOptions{
+		Evaluations: p.Opt.SearchEvals,
+		Stagnation:  p.Opt.Stagnation,
+		Seed:        p.Opt.Seed + 300,
+	})
+	return nil
+}
+
+// Finalize performs the second half of Step 3: precise re-evaluation of
+// the pseudo Pareto configurations and construction of the final Pareto
+// front over real (SSIM, area, energy).
+func (p *Pipeline) Finalize() error {
+	if p.Pseudo == nil {
+		if err := p.Explore(); err != nil {
+			return err
+		}
+	}
+	_, cfgs := dse.SortArchive(p.Pseudo)
+	// The accurate baseline (index 0 of every reduced library is its
+	// minimum-WMED, i.e. exact, circuit) is always verified alongside the
+	// pseudo set: a designer has it by definition, and it anchors the
+	// SSIM≈1 end of the final front even when the estimator's plateau hid
+	// it from the hill climber.
+	exact := make([]int, len(p.Space))
+	haveExact := false
+	for _, c := range cfgs {
+		same := true
+		for i := range c {
+			if c[i] != 0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			haveExact = true
+			break
+		}
+	}
+	if !haveExact {
+		cfgs = append(cfgs, exact)
+	}
+	p.FinalCfgs = cfgs
+	var err error
+	p.FinalRes, err = dse.EvaluateAll(p.Ev, p.Space, cfgs)
+	if err != nil {
+		return err
+	}
+	pts := make([]pareto.Point, len(p.FinalRes))
+	for i, r := range p.FinalRes {
+		pts[i] = pareto.Point{-r.SSIM, r.Area, r.Energy}
+	}
+	p.FinalFront = pareto.Front(pts)
+	return nil
+}
+
+// Run executes all stages in order.
+func (p *Pipeline) Run() error { return p.Finalize() }
+
+// FrontResults returns the final-front configurations with their precise
+// results, ordered as discovered.
+func (p *Pipeline) FrontResults() ([][]int, []accel.Result) {
+	cfgs := make([][]int, 0, len(p.FinalFront))
+	res := make([]accel.Result, 0, len(p.FinalFront))
+	for _, i := range p.FinalFront {
+		cfgs = append(cfgs, p.FinalCfgs[i])
+		res = append(res, p.FinalRes[i])
+	}
+	return cfgs, res
+}

@@ -1,0 +1,214 @@
+package dse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autoax/internal/acl"
+	"autoax/internal/pareto"
+)
+
+// syntheticSpace builds a Space of fake characterized circuits with a
+// controlled error/area trade-off: circuit i of op k has WMED i·(k+1) and
+// area (size−i)·10.
+func syntheticSpace(ops, size int) Space {
+	s := make(Space, ops)
+	for k := 0; k < ops; k++ {
+		lib := make([]*acl.Circuit, size)
+		for i := 0; i < size; i++ {
+			lib[i] = &acl.Circuit{
+				Name: "c", Op: acl.Op{Kind: acl.Add, Width: 8},
+				Area:  float64(size-i) * 10,
+				Power: float64(size-i) * 2,
+				Delay: float64(size-i) * 0.1,
+				WMED:  float64(i) * float64(k+1),
+			}
+		}
+		s[k] = lib
+	}
+	return s
+}
+
+// syntheticEstimator: QoR = 1 − ΣWMED/norm (monotone), HW = Σarea.
+func syntheticEstimator(s Space) Estimator {
+	var norm float64
+	for _, lib := range s {
+		norm += lib[len(lib)-1].WMED
+	}
+	return func(cfg []int) (float64, float64) {
+		var w, a float64
+		for k, i := range cfg {
+			w += s[k][i].WMED
+			a += s[k][i].Area
+		}
+		return 1 - w/(norm+1), a
+	}
+}
+
+func TestSpaceBasics(t *testing.T) {
+	s := syntheticSpace(3, 5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.NumConfigs(); got != 125 {
+		t.Errorf("NumConfigs = %f", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	cfg := s.RandomConfig(rng)
+	if len(cfg) != 3 {
+		t.Fatal("bad config length")
+	}
+	n := s.Neighbor(cfg, rng)
+	diff := 0
+	for i := range n {
+		if n[i] != cfg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Errorf("neighbor changed %d positions, want 1", diff)
+	}
+}
+
+func TestFeatureLayout(t *testing.T) {
+	s := syntheticSpace(2, 4)
+	cfg := []int{1, 3}
+	q := s.QoRFeatures(cfg)
+	if len(q) != 2 || q[0] != 1 || q[1] != 6 {
+		t.Errorf("QoR features = %v", q)
+	}
+	h := s.HWFeatures(cfg)
+	if len(h) != 6 {
+		t.Fatalf("HW features = %v", h)
+	}
+	// areas first, then powers, then delays.
+	if h[0] != 30 || h[1] != 10 || h[2] != 6 || h[3] != 2 {
+		t.Errorf("HW features = %v", h)
+	}
+}
+
+func TestHillClimbFindsTradeoffFront(t *testing.T) {
+	s := syntheticSpace(4, 8)
+	est := syntheticEstimator(s)
+	arch := HillClimb(s, est, SearchOptions{Evaluations: 20000, Seed: 1})
+	if arch.Len() < 10 {
+		t.Fatalf("archive too small: %d", arch.Len())
+	}
+	// With a monotone objective pair, the true front is cfgs where each op
+	// picks the same "level"; extremes must be found.
+	pts := arch.Points()
+	bestQ, bestA := math.Inf(1), math.Inf(1)
+	for _, p := range pts {
+		bestQ = math.Min(bestQ, p[0]) // −QoR
+		bestA = math.Min(bestA, p[1])
+	}
+	if bestQ > -0.999 {
+		t.Errorf("hill climb missed the exact corner: best −QoR %f", bestQ)
+	}
+	wantMinArea := float64(len(s)) * 10 // every op picks its smallest
+	if bestA > wantMinArea+1e-9 {
+		t.Errorf("hill climb missed the min-area corner: %f vs %f", bestA, wantMinArea)
+	}
+}
+
+func TestHillClimbDeterministic(t *testing.T) {
+	s := syntheticSpace(3, 6)
+	est := syntheticEstimator(s)
+	a1 := HillClimb(s, est, SearchOptions{Evaluations: 5000, Seed: 9})
+	a2 := HillClimb(s, est, SearchOptions{Evaluations: 5000, Seed: 9})
+	if a1.Len() != a2.Len() {
+		t.Errorf("non-deterministic archive size %d vs %d", a1.Len(), a2.Len())
+	}
+}
+
+func TestHillClimbBeatsRandomSearch(t *testing.T) {
+	// Table 4's qualitative claim at matched budgets.
+	s := syntheticSpace(5, 10)
+	est := syntheticEstimator(s)
+	optimal, err := Exhaustive(s, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := HillClimb(s, est, SearchOptions{Evaluations: 3000, Seed: 3})
+	rs := RandomSearch(s, est, SearchOptions{Evaluations: 3000, Seed: 3})
+	dh := pareto.FrontDistances(hc.Points(), optimal.Points())
+	dr := pareto.FrontDistances(rs.Points(), optimal.Points())
+	if dh.FromAvg >= dr.FromAvg {
+		t.Errorf("hill climb FromAvg %f should beat random %f", dh.FromAvg, dr.FromAvg)
+	}
+	if hc.Len() <= rs.Len() {
+		t.Errorf("hill climb found %d front members, random %d", hc.Len(), rs.Len())
+	}
+}
+
+func TestExhaustiveMatchesBruteForceOnTiny(t *testing.T) {
+	s := syntheticSpace(2, 3)
+	est := syntheticEstimator(s)
+	arch, err := Exhaustive(s, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force over all 9 configs.
+	var pts []pareto.Point
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			q, h := est([]int{i, j})
+			pts = append(pts, pareto.Point{-q, h})
+		}
+	}
+	front := pareto.Front(pts)
+	if arch.Len() != len(front) {
+		t.Errorf("exhaustive archive %d vs brute force front %d", arch.Len(), len(front))
+	}
+}
+
+func TestExhaustiveRefusesHugeSpace(t *testing.T) {
+	s := syntheticSpace(17, 30) // 30^17 ≫ limit
+	if _, err := Exhaustive(s, syntheticEstimator(s)); err == nil {
+		t.Error("expected size-limit error")
+	}
+}
+
+func TestUniformSelection(t *testing.T) {
+	s := syntheticSpace(3, 10)
+	cfgs := UniformSelection(s, 8)
+	if len(cfgs) == 0 || len(cfgs) > 8 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	// First level (ε=0): every op picks its minimum-WMED circuit.
+	for k := range s {
+		if s[k][cfgs[0][k]].WMED != 0 {
+			t.Errorf("ε=0 config picked WMED %f for op %d", s[k][cfgs[0][k]].WMED, k)
+		}
+	}
+}
+
+func TestNaiveModels(t *testing.T) {
+	ns := NaiveSSIM{}
+	if got := ns.Predict([]float64{1, 2, 3}); got != -6 {
+		t.Errorf("naive SSIM = %f", got)
+	}
+	na := &NaiveArea{}
+	x := [][]float64{{10, 20, 1, 2, 0.1, 0.2}}
+	if err := na.Fit(x, []float64{30}); err != nil {
+		t.Fatal(err)
+	}
+	if got := na.Predict(x[0]); got != 30 {
+		t.Errorf("naive area = %f", got)
+	}
+}
+
+func TestSortArchive(t *testing.T) {
+	a := &pareto.Archive[[]int]{}
+	a.Insert(pareto.Point{-0.5, 10}, []int{0})
+	a.Insert(pareto.Point{-0.9, 30}, []int{1})
+	a.Insert(pareto.Point{-0.7, 20}, []int{2})
+	pts, cfgs := SortArchive(a)
+	if pts[0][0] != -0.9 || cfgs[0][0] != 1 {
+		t.Errorf("sort order wrong: %v", pts)
+	}
+	if pts[2][0] != -0.5 {
+		t.Errorf("sort order wrong: %v", pts)
+	}
+}

@@ -1,0 +1,105 @@
+package dse
+
+import (
+	"fmt"
+
+	"autoax/internal/accel"
+	"autoax/internal/ml"
+)
+
+// Estimator predicts (QoR, hardware cost) of a configuration without
+// simulation or synthesis.  QoR is higher-better (SSIM), hw lower-better
+// (area).
+type Estimator func(cfg []int) (qor, hw float64)
+
+// Models couples the two trained regressors of paper §2.3 with the space
+// whose features they were trained on.
+type Models struct {
+	QoR   ml.Regressor
+	HW    ml.Regressor
+	Space Space
+}
+
+// Estimator returns the fast configuration estimator backed by the models.
+func (m *Models) Estimator() Estimator {
+	return func(cfg []int) (float64, float64) {
+		return m.QoR.Predict(m.Space.QoRFeatures(cfg)), m.HW.Predict(m.Space.HWFeatures(cfg))
+	}
+}
+
+// BuildTrainingData converts precisely evaluated configurations into the
+// two supervised learning problems: WMED features → SSIM and
+// area/power/delay features → synthesized area.
+func BuildTrainingData(s Space, cfgs [][]int, res []accel.Result) (xq [][]float64, yq []float64, xh [][]float64, yh []float64) {
+	for i, cfg := range cfgs {
+		xq = append(xq, s.QoRFeatures(cfg))
+		yq = append(yq, res[i].SSIM)
+		xh = append(xh, s.HWFeatures(cfg))
+		yh = append(yh, res[i].Area)
+	}
+	return
+}
+
+// TrainModels fits one engine type to both estimation problems.
+func TrainModels(spec ml.EngineSpec, seed int64, s Space, cfgs [][]int, res []accel.Result) (*Models, error) {
+	xq, yq, xh, yh := BuildTrainingData(s, cfgs, res)
+	qor := spec.New(seed)
+	if err := qor.Fit(xq, yq); err != nil {
+		return nil, fmt.Errorf("dse: fitting QoR model (%s): %w", spec.Name, err)
+	}
+	hw := spec.New(seed + 1)
+	if err := hw.Fit(xh, yh); err != nil {
+		return nil, fmt.Errorf("dse: fitting HW model (%s): %w", spec.Name, err)
+	}
+	return &Models{QoR: qor, HW: hw, Space: s}, nil
+}
+
+// NaiveSSIM is the paper's naïve QoR model: M_SSIM(C) = −Σ WMED_k(c).
+// It tests whether accelerator QoR correlates with the plain cumulative
+// arithmetic error.
+type NaiveSSIM struct{}
+
+// Fit implements ml.Regressor (no parameters to learn).
+func (NaiveSSIM) Fit(x [][]float64, y []float64) error { return nil }
+
+// Predict implements ml.Regressor.
+func (NaiveSSIM) Predict(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s -= v
+	}
+	return s
+}
+
+// NaiveArea is the paper's naïve hardware model: M_a(C) = Σ area(c).
+// It is blind to cross-component synthesis effects (dead-logic stripping
+// behind a high-error component), which is exactly where it loses fidelity.
+type NaiveArea struct{ n int }
+
+// Fit implements ml.Regressor; it only records the feature layout.
+func (a *NaiveArea) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x[0])%3 != 0 {
+		return ml.ErrNoData
+	}
+	a.n = len(x[0]) / 3
+	return nil
+}
+
+// Predict implements ml.Regressor: the sum of the area features.
+func (a *NaiveArea) Predict(x []float64) float64 {
+	n := a.n
+	if n == 0 {
+		n = len(x) / 3
+	}
+	s := 0.0
+	for _, v := range x[:n] {
+		s += v
+	}
+	return s
+}
+
+// ModelFidelity evaluates a fitted regressor on (x, y) pairs with the
+// paper's pairwise-order fidelity.
+func ModelFidelity(r ml.Regressor, x [][]float64, y []float64) float64 {
+	return ml.Fidelity(ml.PredictAll(r, x), y)
+}

@@ -1,0 +1,178 @@
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autoax/internal/pareto"
+)
+
+// SearchOptions parameterizes the Pareto-construction searches.
+type SearchOptions struct {
+	// Evaluations bounds the number of estimator calls (the paper's
+	// termination condition).
+	Evaluations int
+	// Stagnation is the restart threshold k of Algorithm 1 (paper: 50).
+	Stagnation int
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (o SearchOptions) withDefaults() SearchOptions {
+	if o.Stagnation == 0 {
+		o.Stagnation = 50
+	}
+	if o.Evaluations == 0 {
+		o.Evaluations = 10000
+	}
+	return o
+}
+
+// point converts an estimate to the minimized objective vector (−QoR, hw).
+func point(qor, hw float64) pareto.Point { return pareto.Point{-qor, hw} }
+
+// HillClimb runs Algorithm 1: stochastic hill climbing whose accept test
+// is insertion into the Pareto archive, with random restarts from the
+// archive after Stagnation consecutive rejections.  The returned archive
+// is the pseudo Pareto set of configurations under the estimators.
+func HillClimb(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]int] {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	archive := &pareto.Archive[[]int]{}
+
+	parent := s.RandomConfig(rng)
+	q, h := est(parent)
+	archive.Insert(point(q, h), parent)
+	stagnant, restarts := 0, 0
+	for evals := 1; evals < opt.Evaluations; evals++ {
+		c := s.Neighbor(parent, rng)
+		q, h := est(c)
+		if archive.Insert(point(q, h), c) {
+			parent = c
+			stagnant = 0
+		} else {
+			stagnant++
+			if stagnant >= opt.Stagnation {
+				// The paper restarts from a random archived configuration.
+				// When the archive is small and every member's 1-step
+				// neighbourhood is dominated (a trap low-fidelity models
+				// can create), that loops forever — so alternate restarts
+				// draw a fresh random configuration instead.
+				restarts++
+				if restarts%2 == 1 {
+					members := archive.Payloads()
+					parent = append([]int(nil), members[rng.Intn(len(members))]...)
+				} else {
+					parent = s.RandomConfig(rng)
+				}
+				stagnant = 0
+			}
+		}
+	}
+	return archive
+}
+
+// RandomSearch is the paper's RS baseline: uniform random configurations
+// filtered through the same Pareto archive.
+func RandomSearch(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]int] {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	archive := &pareto.Archive[[]int]{}
+	for evals := 0; evals < opt.Evaluations; evals++ {
+		c := s.RandomConfig(rng)
+		q, h := est(c)
+		archive.Insert(point(q, h), c)
+	}
+	return archive
+}
+
+// ExhaustiveLimit caps the space size Exhaustive will enumerate.
+const ExhaustiveLimit = 5e7
+
+// Exhaustive enumerates the whole configuration space (used to obtain the
+// optimal Pareto front of Table 4 for spaces within ExhaustiveLimit).
+func Exhaustive(s Space, est Estimator) (*pareto.Archive[[]int], error) {
+	if n := s.NumConfigs(); n > ExhaustiveLimit {
+		return nil, fmt.Errorf("dse: space of %.3g configurations exceeds the exhaustive limit %.3g", n, ExhaustiveLimit)
+	}
+	archive := &pareto.Archive[[]int]{}
+	cfg := make([]int, len(s))
+	for {
+		q, h := est(cfg)
+		archive.Insert(point(q, h), cfg)
+		// Odometer increment.
+		i := 0
+		for ; i < len(cfg); i++ {
+			cfg[i]++
+			if cfg[i] < len(s[i]) {
+				break
+			}
+			cfg[i] = 0
+		}
+		if i == len(cfg) {
+			return archive, nil
+		}
+	}
+}
+
+// UniformSelection is the paper's manual baseline: for a grid of `levels`
+// target error levels ε, every operation independently picks the library
+// circuit whose WMED relative to the operation's output range is closest
+// to ε.  Duplicate configurations are dropped; the result is ordered by ε.
+func UniformSelection(s Space, levels int) [][]int {
+	// The grid spans the observed relative-WMED range of the space.
+	maxRel := 0.0
+	for _, lib := range s {
+		for _, c := range lib {
+			if r := c.RelWMED(); r > maxRel {
+				maxRel = r
+			}
+		}
+	}
+	var out [][]int
+	seen := map[string]bool{}
+	for l := 0; l < levels; l++ {
+		eps := 0.0
+		if levels > 1 {
+			eps = maxRel * float64(l) / float64(levels-1)
+		}
+		cfg := make([]int, len(s))
+		for k, lib := range s {
+			best, bestDiff := 0, -1.0
+			for i, c := range lib {
+				d := c.RelWMED() - eps
+				if d < 0 {
+					d = -d
+				}
+				if bestDiff < 0 || d < bestDiff {
+					best, bestDiff = i, d
+				}
+			}
+			cfg[k] = best
+		}
+		key := fmt.Sprint(cfg)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, cfg)
+		}
+	}
+	return out
+}
+
+// SortArchive orders an archive's configurations by the first objective
+// (descending QoR) for stable presentation, returning parallel slices.
+func SortArchive(a *pareto.Archive[[]int]) (pts []pareto.Point, cfgs [][]int) {
+	idx := make([]int, a.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	p := a.Points()
+	c := a.Payloads()
+	sort.Slice(idx, func(x, y int) bool { return p[idx[x]][0] < p[idx[y]][0] })
+	for _, i := range idx {
+		pts = append(pts, p[i])
+		cfgs = append(cfgs, c[i])
+	}
+	return pts, cfgs
+}

@@ -1,0 +1,128 @@
+// Package dse implements the model-based design-space exploration of
+// autoAx (paper §2.4): the stochastic hill-climbing Pareto construction
+// (Algorithm 1), the random-sampling and uniform-selection baselines,
+// exhaustive enumeration for ground truth, and the feature extraction and
+// model training that turn characterized circuits into fast QoR/cost
+// estimators.
+package dse
+
+import (
+	"fmt"
+	"math/rand"
+
+	"autoax/internal/accel"
+	"autoax/internal/acl"
+)
+
+// Space is the configuration space: one reduced library RL_k per operation
+// node of the accelerator (in Graph.OpNodes order).  A configuration is an
+// index into each library.
+type Space [][]*acl.Circuit
+
+// NumConfigs returns the size of the configuration space as a float64
+// (spaces like the paper's 10⁶³ overflow integers long before float64).
+func (s Space) NumConfigs() float64 {
+	n := 1.0
+	for _, lib := range s {
+		n *= float64(len(lib))
+	}
+	return n
+}
+
+// Validate checks that every operation has at least one circuit.
+func (s Space) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("dse: empty space")
+	}
+	for i, lib := range s {
+		if len(lib) == 0 {
+			return fmt.Errorf("dse: operation %d has an empty library", i)
+		}
+	}
+	return nil
+}
+
+// Circuits materializes a configuration as the circuit list expected by
+// accel.Flatten.
+func (s Space) Circuits(cfg []int) accel.Configuration {
+	out := make(accel.Configuration, len(s))
+	for i, idx := range cfg {
+		out[i] = s[i][idx]
+	}
+	return out
+}
+
+// RandomConfig draws a uniform random configuration.
+func (s Space) RandomConfig(rng *rand.Rand) []int {
+	cfg := make([]int, len(s))
+	for i, lib := range s {
+		cfg[i] = rng.Intn(len(lib))
+	}
+	return cfg
+}
+
+// Neighbor returns a copy of cfg with one randomly chosen operation
+// re-assigned to a random different circuit (the GetNeighbour move of
+// Algorithm 1).  Single-circuit libraries are left unchanged.
+func (s Space) Neighbor(cfg []int, rng *rand.Rand) []int {
+	next := append([]int(nil), cfg...)
+	k := rng.Intn(len(s))
+	if len(s[k]) == 1 {
+		return next
+	}
+	nv := rng.Intn(len(s[k]) - 1)
+	if nv >= cfg[k] {
+		nv++
+	}
+	next[k] = nv
+	return next
+}
+
+// RandomConfigs draws n configurations deterministically from the seed.
+func (s Space) RandomConfigs(n int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = s.RandomConfig(rng)
+	}
+	return out
+}
+
+// QoRFeatures returns the model input for QoR estimation: the WMED of each
+// selected circuit (paper §4.1.2).
+func (s Space) QoRFeatures(cfg []int) []float64 {
+	f := make([]float64, len(s))
+	for i, idx := range cfg {
+		f[i] = s[i][idx].WMED
+	}
+	return f
+}
+
+// HWFeatures returns the model input for hardware estimation: the areas of
+// all selected circuits, then their powers, then their delays (paper
+// §4.1.2: omitting power and delay loses ~2% fidelity).
+func (s Space) HWFeatures(cfg []int) []float64 {
+	n := len(s)
+	f := make([]float64, 3*n)
+	for i, idx := range cfg {
+		c := s[i][idx]
+		f[i] = c.Area
+		f[n+i] = c.Power
+		f[2*n+i] = c.Delay
+	}
+	return f
+}
+
+// EvaluateAll precisely evaluates every configuration (simulation +
+// synthesis) via the accel evaluator.
+func EvaluateAll(ev *accel.Evaluator, s Space, cfgs [][]int) ([]accel.Result, error) {
+	out := make([]accel.Result, len(cfgs))
+	for i, cfg := range cfgs {
+		r, err := ev.Evaluate(s.Circuits(cfg))
+		if err != nil {
+			return nil, fmt.Errorf("dse: evaluating configuration %d: %w", i, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,35 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationDrivers(t *testing.T) {
+	s := tinySetup(t)
+	var buf bytes.Buffer
+	if err := AblationQoRFeatures(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "WMED+MSE") {
+		t.Error("QoR ablation missing feature rows")
+	}
+	buf.Reset()
+	if err := AblationHWFeatures(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"area only", "area+power", "area+power+delay"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("HW ablation missing row %q", want)
+		}
+	}
+	buf.Reset()
+	if err := AblationStagnation(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no restarts") {
+		t.Error("stagnation ablation missing the no-restart row")
+	}
+}

@@ -1,0 +1,70 @@
+package ml
+
+import "sort"
+
+// KNN is k-nearest-neighbours regression with uniform weights and
+// Euclidean distance (scikit-learn default k = 5).  Prediction is a linear
+// scan — training sets in this project are a few thousand rows, where a
+// scan beats tree structures once the constant factors are counted.
+type KNN struct {
+	K int
+
+	x [][]float64
+	y []float64
+}
+
+// NewKNN returns a k-nearest-neighbours regressor.
+func NewKNN(k int) *KNN {
+	if k < 1 {
+		k = 1
+	}
+	return &KNN{K: k}
+}
+
+// Fit implements Regressor (memorizes the training set).
+func (k *KNN) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	k.x = x
+	k.y = y
+	return nil
+}
+
+// Predict implements Regressor.
+func (k *KNN) Predict(q []float64) float64 {
+	kk := k.K
+	if kk > len(k.x) {
+		kk = len(k.x)
+	}
+	type cand struct {
+		d float64
+		y float64
+	}
+	// Keep the kk best in a small insertion-sorted buffer.
+	best := make([]cand, 0, kk)
+	for i, row := range k.x {
+		d := 0.0
+		for j, v := range row {
+			t := v - q[j]
+			d += t * t
+		}
+		if len(best) < kk {
+			best = append(best, cand{d, k.y[i]})
+			if len(best) == kk {
+				sort.Slice(best, func(a, b int) bool { return best[a].d < best[b].d })
+			}
+			continue
+		}
+		if d < best[kk-1].d {
+			pos := sort.Search(kk, func(a int) bool { return best[a].d > d })
+			copy(best[pos+1:], best[pos:kk-1])
+			best[pos] = cand{d, k.y[i]}
+		}
+	}
+	var s float64
+	for _, c := range best {
+		s += c.y
+	}
+	return s / float64(len(best))
+}

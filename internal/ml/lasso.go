@@ -1,0 +1,346 @@
+package ml
+
+import (
+	"math"
+
+	"autoax/internal/mat"
+)
+
+// Lasso is L1-regularized linear regression fit by cyclic coordinate
+// descent on standardized features (scikit-learn's algorithm and default
+// α = 1).
+type Lasso struct {
+	Alpha   float64
+	MaxIter int
+	Tol     float64
+
+	scaler *Scaler
+	w      []float64 // standardized-space weights
+	ymean  float64
+}
+
+// NewLasso returns a Lasso regressor.
+func NewLasso(alpha float64, maxIter int) *Lasso {
+	return &Lasso{Alpha: alpha, MaxIter: maxIter, Tol: 1e-6}
+}
+
+// Fit implements Regressor.
+func (l *Lasso) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	l.scaler = FitScaler(x)
+	xs := l.scaler.Transform(x)
+	n, d := len(xs), len(xs[0])
+	l.ymean = 0
+	for _, v := range y {
+		l.ymean += v
+	}
+	l.ymean /= float64(n)
+	yc := make([]float64, n)
+	for i := range y {
+		yc[i] = y[i] - l.ymean
+	}
+	// Column norms (constant under standardization, but recompute for
+	// robustness) and residual bookkeeping.
+	colSq := make([]float64, d)
+	for _, row := range xs {
+		for j, v := range row {
+			colSq[j] += v * v
+		}
+	}
+	w := make([]float64, d)
+	resid := append([]float64(nil), yc...)
+	thr := l.Alpha * float64(n)
+	for it := 0; it < l.MaxIter; it++ {
+		maxDelta := 0.0
+		for j := 0; j < d; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			// rho = x_j · resid + w_j·colSq (add back j's contribution).
+			rho := 0.0
+			for i, row := range xs {
+				rho += row[j] * resid[i]
+			}
+			rho += w[j] * colSq[j]
+			var nw float64
+			switch {
+			case rho > thr:
+				nw = (rho - thr) / colSq[j]
+			case rho < -thr:
+				nw = (rho + thr) / colSq[j]
+			default:
+				nw = 0
+			}
+			if delta := nw - w[j]; delta != 0 {
+				for i, row := range xs {
+					resid[i] -= delta * row[j]
+				}
+				if ad := math.Abs(delta); ad > maxDelta {
+					maxDelta = ad
+				}
+				w[j] = nw
+			}
+		}
+		if maxDelta < l.Tol {
+			break
+		}
+	}
+	l.w = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (l *Lasso) Predict(x []float64) float64 {
+	return mat.Dot(l.w, l.scaler.TransformRow(x)) + l.ymean
+}
+
+// LARS implements least-angle regression: predictors enter the active set
+// one at a time in the direction equiangular to the active correlations.
+// With MaxSteps = 0 the full path is followed (ending at the least-squares
+// solution); smaller values stop early, yielding sparse models.
+type LARS struct {
+	MaxSteps int
+
+	scaler *Scaler
+	w      []float64
+	ymean  float64
+}
+
+// NewLARS returns a least-angle regressor; maxSteps 0 means min(n−1, d).
+func NewLARS(maxSteps int) *LARS { return &LARS{MaxSteps: maxSteps} }
+
+// Fit implements Regressor.
+func (l *LARS) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	l.scaler = FitScaler(x)
+	xs := l.scaler.Transform(x)
+	n, d := len(xs), len(xs[0])
+	l.ymean = 0
+	for _, v := range y {
+		l.ymean += v
+	}
+	l.ymean /= float64(n)
+
+	steps := l.MaxSteps
+	limit := d
+	if n-1 < limit {
+		limit = n - 1
+	}
+	if steps <= 0 || steps > limit {
+		steps = limit
+	}
+
+	w := make([]float64, d)
+	mu := make([]float64, n) // current fit
+	var active []int
+	inActive := make([]bool, d)
+	cols := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		c := make([]float64, n)
+		for i, row := range xs {
+			c[i] = row[j]
+		}
+		cols[j] = c
+	}
+
+	for step := 0; step < steps; step++ {
+		// Correlations with the residual (Efron et al., eq. 2.8 ff.).
+		resid := make([]float64, n)
+		for i := range resid {
+			resid[i] = (y[i] - l.ymean) - mu[i]
+		}
+		corr := make([]float64, d)
+		cmax := 0.0
+		bestJ := -1
+		for j := 0; j < d; j++ {
+			corr[j] = mat.Dot(cols[j], resid)
+			if a := math.Abs(corr[j]); a > cmax {
+				cmax = a
+			}
+			if !inActive[j] {
+				if bestJ < 0 || math.Abs(corr[j]) > math.Abs(corr[bestJ]) {
+					bestJ = j
+				}
+			}
+		}
+		if cmax < 1e-10 || bestJ < 0 {
+			break
+		}
+		inActive[bestJ] = true
+		active = append(active, bestJ)
+
+		// Equiangular direction u = X_A · (A_norm · G⁻¹ 1) over the signed
+		// active predictors.
+		k := len(active)
+		signs := make([]float64, k)
+		for a, j := range active {
+			if corr[j] >= 0 {
+				signs[a] = 1
+			} else {
+				signs[a] = -1
+			}
+		}
+		g := mat.New(k, k)
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				g.Set(a, b, signs[a]*signs[b]*mat.Dot(cols[active[a]], cols[active[b]]))
+			}
+		}
+		ones := make([]float64, k)
+		for a := range ones {
+			ones[a] = 1
+		}
+		gInv1, err := mat.SolveLU(g, ones)
+		if err != nil {
+			break
+		}
+		sum := 0.0
+		for _, v := range gInv1 {
+			sum += v
+		}
+		if sum <= 0 {
+			break
+		}
+		aNorm := 1 / math.Sqrt(sum)
+		u := make([]float64, n)
+		for a, j := range active {
+			mat.AddScaled(u, aNorm*gInv1[a]*signs[a], cols[j])
+		}
+		// a_j = x_j · u; for active predictors s_j·a_j = aNorm.
+		gamma := cmax / aNorm // final-step jump to the joint LS fit
+		if k < limit && step < steps-1 {
+			for j := 0; j < d; j++ {
+				if inActive[j] {
+					continue
+				}
+				aj := mat.Dot(cols[j], u)
+				for _, t := range []float64{(cmax - corr[j]) / (aNorm - aj), (cmax + corr[j]) / (aNorm + aj)} {
+					if t > 1e-12 && t < gamma {
+						gamma = t
+					}
+				}
+			}
+		}
+		for a, j := range active {
+			w[j] += gamma * aNorm * gInv1[a] * signs[a]
+		}
+		mat.AddScaled(mu, gamma, u)
+	}
+	l.w = w
+	return nil
+}
+
+// Predict implements Regressor.
+func (l *LARS) Predict(x []float64) float64 {
+	return mat.Dot(l.w, l.scaler.TransformRow(x)) + l.ymean
+}
+
+// PLS is partial-least-squares regression via the NIPALS algorithm with
+// NComp latent components (scikit-learn default 2).
+type PLS struct {
+	NComp int
+
+	scaler *Scaler
+	w      []float64
+	ymean  float64
+}
+
+// NewPLS returns a PLS regressor with the given number of components.
+func NewPLS(ncomp int) *PLS { return &PLS{NComp: ncomp} }
+
+// Fit implements Regressor.
+func (p *PLS) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	p.scaler = FitScaler(x)
+	xs := p.scaler.Transform(x)
+	n, d := len(xs), len(xs[0])
+	p.ymean = 0
+	for _, v := range y {
+		p.ymean += v
+	}
+	p.ymean /= float64(n)
+	// Working copies (deflated in place).
+	xd := make([][]float64, n)
+	for i := range xd {
+		xd[i] = append([]float64(nil), xs[i]...)
+	}
+	yd := make([]float64, n)
+	for i := range y {
+		yd[i] = y[i] - p.ymean
+	}
+	ncomp := p.NComp
+	if ncomp > d {
+		ncomp = d
+	}
+	// Accumulate the final coefficient vector in standardized space.
+	beta := make([]float64, d)
+	ws := make([][]float64, 0, ncomp) // weights
+	ps := make([][]float64, 0, ncomp) // loadings
+	qs := make([]float64, 0, ncomp)   // y loadings
+	for c := 0; c < ncomp; c++ {
+		// w ∝ Xᵀy
+		w := make([]float64, d)
+		for i, row := range xd {
+			mat.AddScaled(w, yd[i], row)
+		}
+		nw := mat.Norm2(w)
+		if nw < 1e-12 {
+			break
+		}
+		for j := range w {
+			w[j] /= nw
+		}
+		// Scores t = X·w
+		t := make([]float64, n)
+		for i, row := range xd {
+			t[i] = mat.Dot(row, w)
+		}
+		tt := mat.Dot(t, t)
+		if tt < 1e-12 {
+			break
+		}
+		// Loadings.
+		pv := make([]float64, d)
+		for i, row := range xd {
+			mat.AddScaled(pv, t[i]/tt, row)
+		}
+		q := mat.Dot(yd, t) / tt
+		// Deflate.
+		for i := range xd {
+			mat.AddScaled(xd[i], -t[i], pv)
+			yd[i] -= q * t[i]
+		}
+		ws = append(ws, w)
+		ps = append(ps, pv)
+		qs = append(qs, q)
+	}
+	// β = W (PᵀW)⁻¹ q
+	k := len(ws)
+	if k > 0 {
+		pw := mat.New(k, k)
+		for a := 0; a < k; a++ {
+			for b := 0; b < k; b++ {
+				pw.Set(a, b, mat.Dot(ps[a], ws[b]))
+			}
+		}
+		sol, err := mat.SolveLU(pw, qs)
+		if err == nil {
+			for a := 0; a < k; a++ {
+				mat.AddScaled(beta, sol[a], ws[a])
+			}
+		}
+	}
+	p.w = beta
+	return nil
+}
+
+// Predict implements Regressor.
+func (p *PLS) Predict(x []float64) float64 {
+	return mat.Dot(p.w, p.scaler.TransformRow(x)) + p.ymean
+}

@@ -1,0 +1,171 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLP is a multilayer perceptron regressor: ReLU hidden layers trained by
+// mini-batch Adam on the squared loss (scikit-learn defaults: one hidden
+// layer of 100 units, lr 1e-3, 200 epochs, batch 32… scaled-down epochs
+// are configurable).  Inputs are standardized internally; targets are not.
+type MLP struct {
+	Hidden []int
+	Epochs int
+	LR     float64
+	Batch  int
+	seed   int64
+
+	scaler  *Scaler
+	weights [][]float64 // per layer: (in+1)×out, row-major with bias row
+	dims    []int
+}
+
+// NewMLP returns an MLP with the given hidden layer sizes and epoch count.
+func NewMLP(hidden []int, epochs int, seed int64) *MLP {
+	return &MLP{Hidden: hidden, Epochs: epochs, LR: 1e-3, Batch: 32, seed: seed}
+}
+
+// Fit implements Regressor.
+func (m *MLP) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	m.scaler = FitScaler(x)
+	xs := m.scaler.Transform(x)
+	d := len(xs[0])
+	m.dims = append(append([]int{d}, m.Hidden...), 1)
+	rng := rand.New(rand.NewSource(m.seed))
+
+	layers := len(m.dims) - 1
+	m.weights = make([][]float64, layers)
+	for l := 0; l < layers; l++ {
+		in, out := m.dims[l], m.dims[l+1]
+		w := make([]float64, (in+1)*out)
+		// Glorot-uniform initialization.
+		limit := math.Sqrt(6.0 / float64(in+out))
+		for i := range w {
+			w[i] = (rng.Float64()*2 - 1) * limit
+		}
+		m.weights[l] = w
+	}
+	// Adam state.
+	mom := make([][]float64, layers)
+	vel := make([][]float64, layers)
+	grad := make([][]float64, layers)
+	for l := range mom {
+		mom[l] = make([]float64, len(m.weights[l]))
+		vel[l] = make([]float64, len(m.weights[l]))
+		grad[l] = make([]float64, len(m.weights[l]))
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+	step := 0
+
+	n := len(xs)
+	acts := make([][]float64, layers+1)
+	deltas := make([][]float64, layers+1)
+	for ep := 0; ep < m.Epochs; ep++ {
+		perm := rng.Perm(n)
+		for start := 0; start < n; start += m.Batch {
+			end := start + m.Batch
+			if end > n {
+				end = n
+			}
+			for l := range grad {
+				for i := range grad[l] {
+					grad[l][i] = 0
+				}
+			}
+			for _, pi := range perm[start:end] {
+				// Forward.
+				acts[0] = xs[pi]
+				for l := 0; l < layers; l++ {
+					in, out := m.dims[l], m.dims[l+1]
+					a := make([]float64, out)
+					w := m.weights[l]
+					for o := 0; o < out; o++ {
+						s := w[in*out+o] // bias row at the end
+						for i2 := 0; i2 < in; i2++ {
+							s += w[i2*out+o] * acts[l][i2]
+						}
+						if l < layers-1 && s < 0 {
+							s = 0 // ReLU
+						}
+						a[o] = s
+					}
+					acts[l+1] = a
+				}
+				// Backward (squared loss).
+				deltas[layers] = []float64{acts[layers][0] - y[pi]}
+				for l := layers - 1; l >= 0; l-- {
+					in, out := m.dims[l], m.dims[l+1]
+					w := m.weights[l]
+					g := grad[l]
+					dl := deltas[l+1]
+					for o := 0; o < out; o++ {
+						do := dl[o]
+						if do == 0 {
+							continue
+						}
+						for i2 := 0; i2 < in; i2++ {
+							g[i2*out+o] += do * acts[l][i2]
+						}
+						g[in*out+o] += do
+					}
+					if l > 0 {
+						prev := make([]float64, in)
+						for i2 := 0; i2 < in; i2++ {
+							if acts[l][i2] <= 0 { // ReLU derivative
+								continue
+							}
+							s := 0.0
+							for o := 0; o < out; o++ {
+								s += w[i2*out+o] * dl[o]
+							}
+							prev[i2] = s
+						}
+						deltas[l] = prev
+					}
+				}
+			}
+			// Adam update.
+			step++
+			bs := float64(end - start)
+			bc1 := 1 - math.Pow(beta1, float64(step))
+			bc2 := 1 - math.Pow(beta2, float64(step))
+			for l := range m.weights {
+				w, g, mo, ve := m.weights[l], grad[l], mom[l], vel[l]
+				for i := range w {
+					gi := g[i] / bs
+					mo[i] = beta1*mo[i] + (1-beta1)*gi
+					ve[i] = beta2*ve[i] + (1-beta2)*gi*gi
+					w[i] -= m.LR * (mo[i] / bc1) / (math.Sqrt(ve[i]/bc2) + eps)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (m *MLP) Predict(q []float64) float64 {
+	a := m.scaler.TransformRow(q)
+	layers := len(m.dims) - 1
+	for l := 0; l < layers; l++ {
+		in, out := m.dims[l], m.dims[l+1]
+		w := m.weights[l]
+		next := make([]float64, out)
+		for o := 0; o < out; o++ {
+			s := w[in*out+o]
+			for i := 0; i < in; i++ {
+				s += w[i*out+o] * a[i]
+			}
+			if l < layers-1 && s < 0 {
+				s = 0
+			}
+			next[o] = s
+		}
+		a = next
+	}
+	return a[0]
+}

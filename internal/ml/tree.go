@@ -1,0 +1,216 @@
+package ml
+
+import "math/rand"
+
+// DecisionTree is a CART regression tree grown by greedy variance
+// reduction.  MaxDepth 0 means unbounded (scikit-learn's default), which
+// memorizes the training set — the 100% train / ~95% test fidelity
+// signature in the paper's Table 3.
+type DecisionTree struct {
+	MaxDepth        int
+	MinSamplesSplit int
+
+	// MaxFeatures limits the features examined per split (0 = all);
+	// sampled with rng when set — used by the ensemble methods.
+	MaxFeatures int
+	rng         *rand.Rand
+
+	nodes []treeNode
+}
+
+type treeNode struct {
+	feature int // -1 for leaves
+	thresh  float64
+	left    int32
+	right   int32
+	value   float64 // leaf prediction (weighted mean)
+}
+
+// NewDecisionTree returns a CART regression tree; maxDepth 0 = unbounded.
+func NewDecisionTree(maxDepth, minSamplesSplit int) *DecisionTree {
+	if minSamplesSplit < 2 {
+		minSamplesSplit = 2
+	}
+	return &DecisionTree{MaxDepth: maxDepth, MinSamplesSplit: minSamplesSplit}
+}
+
+// Fit implements Regressor; an optional per-sample weight variant is used
+// by AdaBoost via FitWeighted.
+func (t *DecisionTree) Fit(x [][]float64, y []float64) error {
+	return t.FitWeighted(x, y, nil)
+}
+
+// FitWeighted fits with per-sample weights (nil = uniform).
+func (t *DecisionTree) FitWeighted(x [][]float64, y []float64, w []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	if w == nil {
+		w = make([]float64, len(y))
+		for i := range w {
+			w[i] = 1
+		}
+	}
+	t.nodes = t.nodes[:0]
+	idx := make([]int, len(x))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.build(x, y, w, idx, 1)
+	return nil
+}
+
+// build grows the subtree over idx and returns its node id.
+func (t *DecisionTree) build(x [][]float64, y, w []float64, idx []int, depth int) int32 {
+	var sw, swy float64
+	for _, i := range idx {
+		sw += w[i]
+		swy += w[i] * y[i]
+	}
+	mean := swy / sw
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, treeNode{feature: -1, value: mean})
+
+	if len(idx) < t.MinSamplesSplit || (t.MaxDepth > 0 && depth > t.MaxDepth) {
+		return id
+	}
+	// Parent impurity (weighted SSE around the mean).
+	var sse float64
+	for _, i := range idx {
+		d := y[i] - mean
+		sse += w[i] * d * d
+	}
+	if sse <= 1e-12 {
+		return id
+	}
+
+	d := len(x[0])
+	features := make([]int, d)
+	for j := range features {
+		features[j] = j
+	}
+	if t.MaxFeatures > 0 && t.MaxFeatures < d && t.rng != nil {
+		t.rng.Shuffle(d, func(a, b int) { features[a], features[b] = features[b], features[a] })
+		features = features[:t.MaxFeatures]
+	}
+
+	bestGain := 1e-12
+	bestFeat, bestPos := -1, -1
+	var bestOrder []int
+	vals := make([]float64, len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = x[i][f]
+		}
+		order := argsortAsc(vals)
+		// Prefix sums over the sorted order.
+		var lw, lwy float64
+		rw, rwy := sw, swy
+		for pos := 0; pos < len(order)-1; pos++ {
+			i := idx[order[pos]]
+			lw += w[i]
+			lwy += w[i] * y[i]
+			rw -= w[i]
+			rwy -= w[i] * y[i]
+			if vals[order[pos]] == vals[order[pos+1]] {
+				continue // cannot split between equal values
+			}
+			// Gain = parent SSE − child SSEs; computable from sums since
+			// SSE = Σwy² − (Σwy)²/Σw and Σwy² cancels.
+			gain := lwy*lwy/lw + rwy*rwy/rw - swy*swy/sw
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = f
+				bestPos = pos
+				bestOrder = append(bestOrder[:0], order...)
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return id
+	}
+	thresh := (x[idx[bestOrder[bestPos]]][bestFeat] + x[idx[bestOrder[bestPos+1]]][bestFeat]) / 2
+	left := make([]int, 0, bestPos+1)
+	right := make([]int, 0, len(idx)-bestPos-1)
+	for pos, o := range bestOrder {
+		if pos <= bestPos {
+			left = append(left, idx[o])
+		} else {
+			right = append(right, idx[o])
+		}
+	}
+	l := t.build(x, y, w, left, depth+1)
+	r := t.build(x, y, w, right, depth+1)
+	t.nodes[id].feature = bestFeat
+	t.nodes[id].thresh = thresh
+	t.nodes[id].left = l
+	t.nodes[id].right = r
+	return id
+}
+
+// Predict implements Regressor.
+func (t *DecisionTree) Predict(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	id := int32(0)
+	for {
+		n := t.nodes[id]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.thresh {
+			id = n.left
+		} else {
+			id = n.right
+		}
+	}
+}
+
+// RandomForest is a bagging ensemble of unpruned CART trees (100 trees in
+// the paper) averaging their predictions.
+type RandomForest struct {
+	NTrees int
+	seed   int64
+	trees  []*DecisionTree
+}
+
+// NewRandomForest returns a forest with n bootstrap-trained trees.
+func NewRandomForest(n int, seed int64) *RandomForest {
+	return &RandomForest{NTrees: n, seed: seed}
+}
+
+// Fit implements Regressor.
+func (f *RandomForest) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(f.seed))
+	f.trees = make([]*DecisionTree, f.NTrees)
+	n := len(x)
+	for k := 0; k < f.NTrees; k++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tr := NewDecisionTree(0, 2)
+		tr.rng = rand.New(rand.NewSource(rng.Int63()))
+		if err := tr.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees[k] = tr
+	}
+	return nil
+}
+
+// Predict implements Regressor.
+func (f *RandomForest) Predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}

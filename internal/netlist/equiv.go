@@ -1,0 +1,63 @@
+package netlist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Equivalent checks functional equivalence of two netlists with identical
+// interfaces.  When the shared input count is at most exhaustiveBits the
+// check is exhaustive; otherwise `samples` seeded random vectors are tried.
+// It returns a descriptive error on the first mismatch, or nil.
+func Equivalent(a, b *Netlist, exhaustiveBits, samples int, seed int64) error {
+	if a.NumInputs != b.NumInputs {
+		return fmt.Errorf("netlist: input counts differ: %d vs %d", a.NumInputs, b.NumInputs)
+	}
+	if len(a.Outputs) != len(b.Outputs) {
+		return fmt.Errorf("netlist: output counts differ: %d vs %d", len(a.Outputs), len(b.Outputs))
+	}
+	ea, eb := NewEvaluator(a), NewEvaluator(b)
+	in := make([]uint64, a.NumInputs)
+	check := func(lanes int) error {
+		oa := ea.Eval(in)
+		ob := eb.Eval(in)
+		mask := ^uint64(0)
+		if lanes < 64 {
+			mask = (uint64(1) << uint(lanes)) - 1
+		}
+		for i := range oa {
+			if (oa[i]^ob[i])&mask != 0 {
+				return fmt.Errorf("netlist: %q and %q differ on output %d", a.Name, b.Name, i)
+			}
+		}
+		return nil
+	}
+	if a.NumInputs <= exhaustiveBits {
+		total := uint64(1) << uint(a.NumInputs)
+		vals := make([]uint64, 64)
+		for base := uint64(0); base < total; base += 64 {
+			lanes := 64
+			if total-base < 64 {
+				lanes = int(total - base)
+			}
+			for l := 0; l < lanes; l++ {
+				vals[l] = base + uint64(l)
+			}
+			PackBits(vals[:lanes], a.NumInputs, in)
+			if err := check(lanes); err != nil {
+				return fmt.Errorf("%w (input block base %d)", err, base)
+			}
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < samples; s += 64 {
+		for k := range in {
+			in[k] = rng.Uint64()
+		}
+		if err := check(64); err != nil {
+			return fmt.Errorf("%w (random batch %d)", err, s/64)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package netlist
+
+import (
+	"encoding/json"
+	"testing"
+
+	"autoax/internal/cell"
+)
+
+func TestNetlistJSONRoundTrip(t *testing.T) {
+	n := buildMajority()
+	n.Name = "maj3"
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Netlist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Equivalent(n, &back, 10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "maj3" || len(back.Gates) != len(n.Gates) {
+		t.Errorf("metadata lost: %+v", back)
+	}
+}
+
+func TestNetlistJSONConstRails(t *testing.T) {
+	// Constant rails use negative signals; they must survive JSON.
+	b := NewBuilder("c", 1)
+	b.SetFolding(false)
+	b.Output(b.And(b.Input(0), Const1))
+	b.Output(Const0)
+	n := b.Build()
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Netlist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Outputs[1] != Const0 {
+		t.Errorf("const output lost: %v", back.Outputs)
+	}
+	if err := Equivalent(n, &back, 4, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvaluatorReuse(t *testing.T) {
+	n := buildMajority()
+	ev := NewEvaluator(n)
+	in := []uint64{0xF0F0, 0xFF00, 0xAAAA}
+	first := append([]uint64(nil), ev.Eval(in)...)
+	// A second evaluation with different inputs must not corrupt results.
+	ev.Eval([]uint64{0, 0, 0})
+	second := ev.Eval(in)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatal("evaluator state leaked between calls")
+		}
+	}
+}
+
+func TestAnalyzeCellsTally(t *testing.T) {
+	b := NewBuilder("tally", 2)
+	b.SetFolding(false)
+	x, y := b.Input(0), b.Input(1)
+	b.Output(b.And(x, y))
+	b.Output(b.Xor(x, y))
+	b.Output(b.Xor(y, x))
+	n := b.Build()
+	c := n.Analyze()
+	if c.Cells[cell.And2] != 1 || c.Cells[cell.Xor2] != 2 {
+		t.Errorf("cell tally wrong: %v", c.Cells)
+	}
+	wantArea := cell.Area(cell.And2) + 2*cell.Area(cell.Xor2)
+	if c.Area != wantArea {
+		t.Errorf("area %f, want %f", c.Area, wantArea)
+	}
+}

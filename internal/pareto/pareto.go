@@ -1,0 +1,224 @@
+// Package pareto provides multi-objective dominance utilities: archives of
+// non-dominated solutions (the paper's ParetoInsert), front-to-front
+// distance metrics (Table 4) and hypervolume.
+//
+// All objectives are minimized; callers maximizing a quantity (SSIM)
+// negate it.
+package pareto
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a vector of objective values, all minimized.
+type Point []float64
+
+// Dominates reports whether a Pareto-dominates b: no worse in every
+// objective and strictly better in at least one.
+func Dominates(a, b Point) bool {
+	strictly := false
+	for i := range a {
+		switch {
+		case a[i] > b[i]:
+			return false
+		case a[i] < b[i]:
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// Archive maintains a set of mutually non-dominated points with attached
+// payloads.  The zero value is ready to use.
+type Archive[T any] struct {
+	pts      []Point
+	payloads []T
+}
+
+// Len returns the archive size.
+func (a *Archive[T]) Len() int { return len(a.pts) }
+
+// Points returns the archived objective vectors (shared storage).
+func (a *Archive[T]) Points() []Point { return a.pts }
+
+// Payloads returns the archived payloads (shared storage).
+func (a *Archive[T]) Payloads() []T { return a.payloads }
+
+// Insert adds (p, payload) if no archived point dominates or equals p,
+// evicting archived points p dominates.  It reports whether the point was
+// inserted — the accept test of the paper's Algorithm 1.
+func (a *Archive[T]) Insert(p Point, payload T) bool {
+	for _, q := range a.pts {
+		if Dominates(q, p) || equal(q, p) {
+			return false
+		}
+	}
+	keep := 0
+	for i := range a.pts {
+		if !Dominates(p, a.pts[i]) {
+			a.pts[keep] = a.pts[i]
+			a.payloads[keep] = a.payloads[i]
+			keep++
+		}
+	}
+	a.pts = a.pts[:keep]
+	a.payloads = a.payloads[:keep]
+	a.pts = append(a.pts, append(Point(nil), p...))
+	a.payloads = append(a.payloads, payload)
+	return true
+}
+
+func equal(a, b Point) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Front extracts the non-dominated subset of pts, returning their indices
+// in the input slice.
+func Front(pts []Point) []int {
+	var idx []int
+	for i, p := range pts {
+		dominated := false
+		for j, q := range pts {
+			if i == j {
+				continue
+			}
+			if Dominates(q, p) || (equal(p, q) && j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// Normalizer rescales points to [0,1] per objective using joint min/max
+// bounds, as the paper does before measuring front distances.
+type Normalizer struct {
+	Lo, Hi Point
+}
+
+// NewNormalizer computes bounds over all given point sets.
+func NewNormalizer(sets ...[]Point) *Normalizer {
+	var lo, hi Point
+	for _, set := range sets {
+		for _, p := range set {
+			if lo == nil {
+				lo = append(Point(nil), p...)
+				hi = append(Point(nil), p...)
+				continue
+			}
+			for i, v := range p {
+				lo[i] = math.Min(lo[i], v)
+				hi[i] = math.Max(hi[i], v)
+			}
+		}
+	}
+	return &Normalizer{Lo: lo, Hi: hi}
+}
+
+// Apply returns the normalized copy of p.
+func (n *Normalizer) Apply(p Point) Point {
+	q := make(Point, len(p))
+	for i, v := range p {
+		span := n.Hi[i] - n.Lo[i]
+		if span == 0 {
+			q[i] = 0
+		} else {
+			q[i] = (v - n.Lo[i]) / span
+		}
+	}
+	return q
+}
+
+func dist(a, b Point) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Distances summarizes how far set S sits from reference front P after
+// joint [0,1] normalization (Table 4):
+//
+//	ToAvg/ToMax     — avg/max over s∈S of the distance to the nearest p∈P
+//	FromAvg/FromMax — avg/max over p∈P of the distance to the nearest s∈S
+//
+// "To" measures how close found solutions are to optimal ones; "From"
+// measures how much of the optimal front was missed.
+type Distances struct {
+	ToAvg, ToMax, FromAvg, FromMax float64
+}
+
+// FrontDistances computes Distances between solution set s and reference
+// front p.
+func FrontDistances(s, p []Point) Distances {
+	n := NewNormalizer(s, p)
+	ns := make([]Point, len(s))
+	for i, q := range s {
+		ns[i] = n.Apply(q)
+	}
+	np := make([]Point, len(p))
+	for i, q := range p {
+		np[i] = n.Apply(q)
+	}
+	var d Distances
+	d.ToAvg, d.ToMax = directed(ns, np)
+	d.FromAvg, d.FromMax = directed(np, ns)
+	return d
+}
+
+func directed(from, to []Point) (avg, max float64) {
+	if len(from) == 0 || len(to) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	var sum float64
+	for _, f := range from {
+		best := math.Inf(1)
+		for _, t := range to {
+			if d := dist(f, t); d < best {
+				best = d
+			}
+		}
+		sum += best
+		if best > max {
+			max = best
+		}
+	}
+	return sum / float64(len(from)), max
+}
+
+// Hypervolume2D returns the area dominated by the front (2-objective,
+// minimization) up to the reference point ref.  Points beyond ref
+// contribute nothing.
+func Hypervolume2D(front []Point, ref Point) float64 {
+	pts := make([]Point, 0, len(front))
+	for _, p := range front {
+		if p[0] < ref[0] && p[1] < ref[1] {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i][0] < pts[j][0] })
+	hv := 0.0
+	prevY := ref[1]
+	for _, p := range pts {
+		if p[1] < prevY {
+			hv += (ref[0] - p[0]) * (prevY - p[1])
+			prevY = p[1]
+		}
+	}
+	return hv
+}

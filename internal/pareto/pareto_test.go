@@ -1,0 +1,159 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Point{1, 1}, Point{2, 2}, true},
+		{Point{1, 2}, Point{2, 1}, false},
+		{Point{1, 1}, Point{1, 1}, false}, // equal: no strict improvement
+		{Point{1, 1}, Point{1, 2}, true},
+		{Point{2, 2}, Point{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestArchiveInsert(t *testing.T) {
+	a := &Archive[string]{}
+	if !a.Insert(Point{2, 2}, "a") {
+		t.Fatal("first insert must succeed")
+	}
+	if a.Insert(Point{3, 3}, "b") {
+		t.Error("dominated insert must fail")
+	}
+	if a.Insert(Point{2, 2}, "dup") {
+		t.Error("duplicate insert must fail")
+	}
+	if !a.Insert(Point{1, 3}, "c") {
+		t.Error("incomparable insert must succeed")
+	}
+	if !a.Insert(Point{1, 1}, "d") {
+		t.Error("dominating insert must succeed")
+	}
+	// d dominates both previous members.
+	if a.Len() != 1 || a.Payloads()[0] != "d" {
+		t.Errorf("archive = %v / %v", a.Points(), a.Payloads())
+	}
+}
+
+// Property: after arbitrary insertions the archive is mutually
+// non-dominated and every rejected point is dominated-or-equal by a member.
+func TestQuickArchiveInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := &Archive[int]{}
+		pts := make([]Point, 40)
+		for i := range pts {
+			pts[i] = Point{float64(rng.Intn(20)), float64(rng.Intn(20))}
+			a.Insert(pts[i], i)
+		}
+		m := a.Points()
+		for i := range m {
+			for j := range m {
+				if i != j && Dominates(m[i], m[j]) {
+					return false
+				}
+			}
+		}
+		for _, p := range pts {
+			covered := false
+			for _, q := range m {
+				if Dominates(q, p) || equal(q, p) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFront(t *testing.T) {
+	pts := []Point{{1, 5}, {2, 2}, {5, 1}, {3, 3}, {1, 5}}
+	idx := Front(pts)
+	want := map[int]bool{0: true, 1: true, 2: true}
+	if len(idx) != 3 {
+		t.Fatalf("front = %v", idx)
+	}
+	for _, i := range idx {
+		if !want[i] {
+			t.Errorf("unexpected front member %d", i)
+		}
+	}
+}
+
+func TestFrontDistancesIdentical(t *testing.T) {
+	pts := []Point{{0, 1}, {0.5, 0.5}, {1, 0}}
+	d := FrontDistances(pts, pts)
+	if d.ToAvg != 0 || d.ToMax != 0 || d.FromAvg != 0 || d.FromMax != 0 {
+		t.Errorf("identical fronts should be at distance 0: %+v", d)
+	}
+}
+
+func TestFrontDistancesAsymmetry(t *testing.T) {
+	// S covers only part of P: "from" distances exceed "to" distances.
+	p := []Point{{0, 10}, {2, 8}, {4, 6}, {6, 4}, {8, 2}, {10, 0}}
+	s := []Point{{0, 10}, {2, 8}}
+	d := FrontDistances(s, p)
+	if d.ToAvg != 0 {
+		t.Errorf("S ⊂ P so ToAvg should be 0, got %f", d.ToAvg)
+	}
+	if d.FromMax <= 0 || d.FromAvg <= 0 {
+		t.Errorf("P has uncovered members, FromAvg %f FromMax %f", d.FromAvg, d.FromMax)
+	}
+}
+
+func TestFrontDistancesNormalization(t *testing.T) {
+	// Scaling one objective by 1000 must not change normalized distances.
+	p := []Point{{0, 10}, {5, 5}, {10, 0}}
+	s := []Point{{1, 9}, {6, 4}}
+	d1 := FrontDistances(s, p)
+	scale := func(pts []Point) []Point {
+		out := make([]Point, len(pts))
+		for i, q := range pts {
+			out[i] = Point{q[0] * 1000, q[1]}
+		}
+		return out
+	}
+	d2 := FrontDistances(scale(s), scale(p))
+	if math.Abs(d1.ToAvg-d2.ToAvg) > 1e-12 || math.Abs(d1.FromMax-d2.FromMax) > 1e-12 {
+		t.Errorf("normalization broken: %+v vs %+v", d1, d2)
+	}
+}
+
+func TestHypervolume2D(t *testing.T) {
+	front := []Point{{0, 2}, {1, 1}, {2, 0}}
+	ref := Point{3, 3}
+	// Dominated region area: staircase = 3·(3-2)+ ... compute: points
+	// sorted by x: (0,2): (3-0)*(3-2)=3; (1,1): (3-1)*(2-1)=2; (2,0):
+	// (3-2)*(1-0)=1 → 6.
+	if hv := Hypervolume2D(front, ref); math.Abs(hv-6) > 1e-12 {
+		t.Errorf("hypervolume = %f, want 6", hv)
+	}
+	// A dominating front has larger hypervolume.
+	better := []Point{{0, 1}, {1, 0}}
+	if Hypervolume2D(better, ref) <= Hypervolume2D(front, ref) {
+		t.Error("dominating front should have larger hypervolume")
+	}
+	if hv := Hypervolume2D(nil, ref); hv != 0 {
+		t.Errorf("empty front hypervolume = %f", hv)
+	}
+}

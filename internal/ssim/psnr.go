@@ -1,0 +1,34 @@
+package ssim
+
+import (
+	"math"
+
+	"autoax/internal/imagedata"
+)
+
+// PSNRCap bounds the PSNR of identical images (where the true value is
+// +∞) so the metric stays usable as an optimization objective.
+const PSNRCap = 100.0
+
+// PSNR returns the peak signal-to-noise ratio between two equally sized
+// 8-bit images, in dB (higher is better) — the alternative QoR metric the
+// paper mentions alongside SSIM.  Identical images return PSNRCap.
+func PSNR(a, b *imagedata.Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("ssim: PSNR image size mismatch")
+	}
+	var sse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		sse += d * d
+	}
+	if sse == 0 {
+		return PSNRCap
+	}
+	mse := sse / float64(len(a.Pix))
+	v := 10 * math.Log10(255*255/mse)
+	if v > PSNRCap {
+		return PSNRCap
+	}
+	return v
+}

@@ -1,0 +1,59 @@
+package ssim
+
+import (
+	"math"
+	"testing"
+
+	"autoax/internal/imagedata"
+)
+
+func TestPSNRIdentical(t *testing.T) {
+	im := imagedata.Synthetic(32, 32, 1)
+	if got := PSNR(im, im.Clone()); got != PSNRCap {
+		t.Errorf("PSNR(x,x) = %f, want cap %f", got, PSNRCap)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	a := imagedata.New(16, 16)
+	b := imagedata.New(16, 16)
+	for i := range b.Pix {
+		b.Pix[i] = 5 // uniform error of 5 → MSE 25
+	}
+	want := 10 * math.Log10(255*255/25.0)
+	if got := PSNR(a, b); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PSNR = %f, want %f", got, want)
+	}
+}
+
+func TestPSNRMonotoneWithNoise(t *testing.T) {
+	base := imagedata.Synthetic(48, 32, 2)
+	prev := PSNRCap + 1
+	for _, amp := range []int{1, 4, 16, 64} {
+		noisy := base.Clone()
+		for i := range noisy.Pix {
+			v := int(noisy.Pix[i]) + (i%(2*amp+1) - amp)
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			noisy.Pix[i] = uint8(v)
+		}
+		got := PSNR(base, noisy)
+		if got >= prev {
+			t.Errorf("amp %d: PSNR %f did not decrease (prev %f)", amp, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestPSNRMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PSNR(imagedata.New(4, 4), imagedata.New(4, 5))
+}

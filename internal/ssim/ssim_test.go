@@ -1,0 +1,147 @@
+package ssim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"autoax/internal/imagedata"
+)
+
+func TestIdenticalImagesScoreOne(t *testing.T) {
+	im := imagedata.Synthetic(64, 48, 1)
+	if got := SSIM(im, im.Clone()); math.Abs(got-1) > 1e-12 {
+		t.Errorf("SSIM(x,x) = %f, want 1", got)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	a := imagedata.Synthetic(64, 48, 1)
+	b := imagedata.Synthetic(64, 48, 2)
+	if d := SSIM(a, b) - SSIM(b, a); math.Abs(d) > 1e-12 {
+		t.Errorf("SSIM asymmetric by %g", d)
+	}
+}
+
+func TestRange(t *testing.T) {
+	a := imagedata.Synthetic(64, 48, 1)
+	b := imagedata.Synthetic(64, 48, 7)
+	got := SSIM(a, b)
+	if got > 1 || got < -1 {
+		t.Errorf("SSIM = %f outside [-1,1]", got)
+	}
+	if got > 0.95 {
+		t.Errorf("unrelated images score suspiciously high: %f", got)
+	}
+}
+
+func TestDegradationMonotonic(t *testing.T) {
+	// Adding increasing deterministic noise must monotonically lower SSIM.
+	base := imagedata.Synthetic(96, 64, 3)
+	prev := 1.0
+	for _, amp := range []int{2, 8, 24, 64} {
+		noisy := base.Clone()
+		rng := rand.New(rand.NewSource(11))
+		for i := range noisy.Pix {
+			v := int(noisy.Pix[i]) + rng.Intn(2*amp+1) - amp
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			noisy.Pix[i] = uint8(v)
+		}
+		got := SSIM(base, noisy)
+		if got >= prev {
+			t.Errorf("amp %d: SSIM %f did not decrease (prev %f)", amp, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestConstantShiftTolerated(t *testing.T) {
+	// SSIM's luminance term softens constant shifts: a +2 shift should
+	// stay close to 1, far above a structural scramble.
+	base := imagedata.Synthetic(64, 48, 4)
+	shifted := base.Clone()
+	for i := range shifted.Pix {
+		if shifted.Pix[i] < 253 {
+			shifted.Pix[i] += 2
+		}
+	}
+	if got := SSIM(base, shifted); got < 0.9 {
+		t.Errorf("small shift SSIM = %f, want > 0.9", got)
+	}
+}
+
+func TestMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on size mismatch")
+		}
+	}()
+	SSIM(imagedata.New(16, 16), imagedata.New(16, 17))
+}
+
+func TestTinyImagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for sub-window image")
+		}
+	}()
+	SSIM(imagedata.New(4, 4), imagedata.New(4, 4))
+}
+
+// Reference (naive) implementation cross-check on a small image.
+func TestMatchesNaiveReference(t *testing.T) {
+	a := imagedata.Synthetic(24, 16, 5)
+	b := a.Clone()
+	rng := rand.New(rand.NewSource(2))
+	for i := range b.Pix {
+		v := int(b.Pix[i]) + rng.Intn(21) - 10
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		b.Pix[i] = uint8(v)
+	}
+	fast := SSIM(a, b)
+	naive := naiveSSIM(a, b)
+	if math.Abs(fast-naive) > 1e-9 {
+		t.Errorf("fast %f vs naive %f", fast, naive)
+	}
+}
+
+func naiveSSIM(a, b *imagedata.Image) float64 {
+	var total float64
+	var count int
+	for y := 0; y+WindowSize <= a.H; y++ {
+		for x := 0; x+WindowSize <= a.W; x++ {
+			var sa, sb, saa, sbb, sab float64
+			for dy := 0; dy < WindowSize; dy++ {
+				for dx := 0; dx < WindowSize; dx++ {
+					va := float64(a.At(x+dx, y+dy))
+					vb := float64(b.At(x+dx, y+dy))
+					sa += va
+					sb += vb
+					saa += va * va
+					sbb += vb * vb
+					sab += va * vb
+				}
+			}
+			n := float64(WindowSize * WindowSize)
+			ma, mb := sa/n, sb/n
+			va := saa/n - ma*ma
+			vb := sbb/n - mb*mb
+			cov := sab/n - ma*mb
+			num := (2*ma*mb + c1) * (2*cov + c2)
+			den := (ma*ma + mb*mb + c1) * (va + vb + c2)
+			total += num / den
+			count++
+		}
+	}
+	return total / float64(count)
+}
