@@ -28,6 +28,8 @@
 //	dse, pareto        Algorithm 1, baselines, Pareto utilities
 //	core               the three-step methodology pipeline
 //	expt               drivers regenerating every paper table and figure
+//	axserver           asynchronous HTTP/JSON job service (worker pool,
+//	                   content-addressed cache) behind `autoax serve`
 package autoax
 
 import (
@@ -36,6 +38,7 @@ import (
 	"autoax/internal/accel"
 	"autoax/internal/acl"
 	"autoax/internal/apps"
+	"autoax/internal/axserver"
 	"autoax/internal/core"
 	"autoax/internal/dse"
 	"autoax/internal/expt"
@@ -85,6 +88,46 @@ type (
 	// Point is a minimized objective vector.
 	Point = pareto.Point
 )
+
+// Re-exported job-service types (see internal/axserver): the asynchronous
+// HTTP/JSON front end over the methodology, with a bounded worker pool and
+// a content-addressed artifact cache.
+type (
+	// Server is the asynchronous job service behind `autoax serve`.
+	Server = axserver.Server
+	// ServerOptions configures the worker pool and cache directory.
+	ServerOptions = axserver.Options
+	// JobInfo is the wire representation of an asynchronous job.
+	JobInfo = axserver.JobInfo
+	// JobState is the lifecycle state of a job.
+	JobState = axserver.JobState
+	// ServerLibraryRequest describes a content-addressed library build.
+	ServerLibraryRequest = axserver.LibraryRequest
+	// ServerLibrarySpec is one operation's entry in a ServerLibraryRequest.
+	ServerLibrarySpec = axserver.SpecRequest
+	// ServerEvaluateRequest asks for precise configuration evaluation.
+	ServerEvaluateRequest = axserver.EvaluateRequest
+	// ServerPipelineRequest asks for a full methodology run.
+	ServerPipelineRequest = axserver.PipelineRequest
+	// ImageSpec describes a deterministic benchmark image set for server
+	// requests.
+	ImageSpec = axserver.ImageSpec
+)
+
+// NewServer starts the worker pool of an asynchronous job service; mount
+// Server.Handler on an http.Server and Close on shutdown.
+func NewServer(opts ServerOptions) (*Server, error) { return axserver.New(opts) }
+
+// LibraryKey returns the content-addressed identity a server-side build of
+// these specs would be cached under — the canonical hash of (specs, seed,
+// default characterization options).  Seed 0 is normalized to 1, matching
+// the server's request defaulting.
+func LibraryKey(specs []LibrarySpec, seed int64) string {
+	if seed == 0 {
+		seed = 1
+	}
+	return acl.CanonicalKey(specs, seed, acl.Options{Seed: seed})
+}
 
 // OpAdd returns the n-bit adder operation instance.
 func OpAdd(n int) Op { return Op{Kind: acl.Add, Width: n} }

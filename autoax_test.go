@@ -1,9 +1,14 @@
 package autoax_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"autoax"
 )
@@ -116,5 +121,80 @@ func TestPublicAPIEngines(t *testing.T) {
 	}
 	if f := autoax.Fidelity([]float64{1, 2, 3}, []float64{10, 20, 30}); f != 1 {
 		t.Errorf("fidelity = %f", f)
+	}
+}
+
+// TestPublicAPIServer drives the asynchronous job service through the
+// facade: a library build submitted over HTTP, polled to completion, and
+// content-addressed consistently with LibraryKey.
+func TestPublicAPIServer(t *testing.T) {
+	srv, err := autoax.NewServer(autoax.ServerOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := autoax.ServerLibraryRequest{
+		Specs: []autoax.ServerLibrarySpec{{Op: "mul4", Count: 8}},
+		Seed:  3,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/libraries", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	var job autoax.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(60 * time.Second)
+	for !job.State.Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", job.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r, err := http.Get(ts.URL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			r.Body.Close()
+			t.Fatalf("poll: status %d", r.StatusCode)
+		}
+		err = json.NewDecoder(r.Body).Decode(&job)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if job.State != "succeeded" {
+		t.Fatalf("job ended as %s: %s", job.State, job.Error)
+	}
+	var res struct {
+		Key  string `json:"key"`
+		Size int    `json:"size"`
+	}
+	if err := json.Unmarshal(job.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	want := autoax.LibraryKey([]autoax.LibrarySpec{{Op: autoax.OpMul(4), Count: 8}}, 3)
+	if res.Key != want {
+		t.Errorf("server key %s, facade LibraryKey %s", res.Key, want)
+	}
+	if res.Size == 0 {
+		t.Error("empty library built")
+	}
+
+	// Seed 0 is defaulted to 1 on the server; LibraryKey must agree.
+	specs := []autoax.LibrarySpec{{Op: autoax.OpMul(4), Count: 8}}
+	if autoax.LibraryKey(specs, 0) != autoax.LibraryKey(specs, 1) {
+		t.Error("LibraryKey(seed 0) does not match the server's seed defaulting")
 	}
 }

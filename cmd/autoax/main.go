@@ -15,6 +15,9 @@
 //	pipeline <app>                       run the methodology on one app
 //	                                     (sobel, fixedgf, genericgf) and
 //	                                     print its final Pareto front
+//	serve                                run the asynchronous HTTP job
+//	                                     service (see internal/axserver)
+//	version                              print the version
 //
 // Flags:
 //
@@ -25,16 +28,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"path/filepath"
 
 	"autoax/internal/acl"
+	"autoax/internal/axserver"
 	"autoax/internal/expt"
 )
+
+// version identifies the build for the version subcommand.
+const version = "0.2.0"
 
 func main() {
 	scale := flag.String("scale", "small", "experiment scale: tiny, small or paper")
@@ -103,13 +115,70 @@ func main() {
 			fatal(fmt.Errorf("export needs an operation instance (e.g. add8, mul8)"))
 		}
 		err = runExport(s, flag.Arg(1), *out)
+	case "serve":
+		err = runServe(flag.Args()[1:])
+	case "version":
+		fmt.Printf("autoax %s\n", version)
+		return
 	default:
-		fatal(fmt.Errorf("unknown command %q", cmd))
+		fmt.Fprintf(os.Stderr, "autoax: unknown command %q\n\n", cmd)
+		usage()
+		os.Exit(2)
 	}
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+// runServe starts the asynchronous job service and blocks until SIGINT or
+// SIGTERM, then drains in-flight HTTP exchanges and cancels running jobs.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache-dir", "", "directory for the content-addressed artifact cache (empty = memory only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv, err := axserver.New(axserver.Options{Workers: *workers, CacheDir: *cacheDir})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "autoax serve: listening on %s (workers %d)\n", *addr, srv.Stats().Workers)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+			return
+		}
+		errCh <- nil
+	}()
+
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	// Restore default signal handling immediately so a second SIGINT/
+	// SIGTERM force-quits instead of being swallowed during the drain.
+	stop()
+	fmt.Fprintln(os.Stderr, "autoax serve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(shutdownCtx)
+	srv.Close() // cancels running jobs, waits for the workers
+	if err := <-errCh; err != nil {
+		return err
+	}
+	return shutdownErr
 }
 
 func runPipeline(s expt.Setup, app string) error {
@@ -192,6 +261,9 @@ commands:
   pipeline <sobel|fixedgf|genericgf>    run the methodology on one app
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
+  serve [-addr :8080] [-workers N] [-cache-dir DIR]
+                                        run the asynchronous HTTP job service
+  version                               print the version
 
 flags:
 `)

@@ -1,0 +1,3 @@
+module autoax
+
+go 1.24

@@ -1,0 +1,40 @@
+package acl
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// CanonicalKey returns a content-addressed identity for a library build:
+// the hex SHA-256 of the canonical JSON encoding of (specs, seed, options)
+// after defaulting.  Build is deterministic in these inputs, so two
+// requests with the same key are guaranteed to produce behaviourally
+// identical libraries — the property the axserver cache relies on to serve
+// repeated builds without recomputation.
+func CanonicalKey(specs []BuildSpec, seed int64, opts Options) string {
+	opts = opts.withDefaults()
+	canon := struct {
+		Specs []BuildSpec `json:"specs"`
+		Seed  int64       `json:"seed"`
+		Opts  Options     `json:"opts"`
+	}{Specs: specs, Seed: seed, Opts: opts}
+	// BuildSpec and Options hold only ints; json.Marshal over them is
+	// canonical (fixed field order, no floats, no maps).
+	b, err := json.Marshal(canon)
+	if err != nil {
+		// Unreachable for these plain-struct inputs; keep the signature
+		// error-free for callers building cache keys inline.
+		panic("acl: canonical key encoding: " + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashBytes returns the hex SHA-256 of b — the hash primitive behind
+// CanonicalKey, exported for callers content-addressing other canonical
+// encodings (e.g. whole pipeline requests).
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,6 +1,8 @@
 package acl
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -98,6 +100,13 @@ type BuildSpec struct {
 // Build generates, characterizes, deduplicates and collects circuits for
 // every spec.  Generation and characterization are deterministic in seed.
 func Build(specs []BuildSpec, seed int64, opts Options) (*Library, error) {
+	return BuildContext(context.Background(), specs, seed, opts)
+}
+
+// BuildContext is Build with cancellation: the context is checked before
+// every circuit characterization (the dominant cost), so a cancelled build
+// stops within one circuit instead of finishing the whole library.
+func BuildContext(ctx context.Context, specs []BuildSpec, seed int64, opts Options) (*Library, error) {
 	lib := NewLibrary()
 	for _, spec := range specs {
 		var vs []approxgen.Variant
@@ -112,6 +121,9 @@ func Build(specs []BuildSpec, seed int64, opts Options) (*Library, error) {
 			return nil, fmt.Errorf("acl: unsupported op kind %v", spec.Op.Kind)
 		}
 		for _, v := range vs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			c, err := Characterize(v.N, spec.Op, v.Family, opts)
 			if err != nil {
 				return nil, fmt.Errorf("acl: characterize %s: %w", v.N.Name, err)
@@ -160,6 +172,9 @@ func Load(r io.Reader) (*Library, error) {
 	}
 	return &l, nil
 }
+
+// LoadBytes reads a library from serialized JSON.
+func LoadBytes(b []byte) (*Library, error) { return Load(bytes.NewReader(b)) }
 
 // LoadFile reads a library from a JSON file.
 func LoadFile(path string) (*Library, error) {

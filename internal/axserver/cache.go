@@ -1,0 +1,114 @@
+package axserver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed artifact store: values are keyed by a
+// canonical hash of the inputs that produced them (see acl.CanonicalKey),
+// so identical requests hit instead of recomputing.  Entries live in
+// memory and, when a directory is configured, on disk — a restarted server
+// warms from disk on first access.  Safe for concurrent use.
+type Cache struct {
+	dir string // "" = memory-only
+
+	mu  sync.RWMutex
+	mem map[string][]byte
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache returns a cache persisting under dir (created if missing), or a
+// memory-only cache when dir is empty.
+func NewCache(dir string) (*Cache, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("axserver: cache dir: %w", err)
+		}
+	}
+	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// path maps a namespaced key ("library/<hash>") to its on-disk file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, strings.ReplaceAll(key, "/", "-")+".json")
+}
+
+// Get returns the cached bytes for key.  A memory miss falls through to
+// disk and promotes the entry.  Hit/miss counters reflect the combined
+// lookup, not the tiers.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.RLock()
+	b, ok := c.mem[key]
+	c.mu.RUnlock()
+	if !ok && c.dir != "" {
+		if d, err := os.ReadFile(c.path(key)); err == nil {
+			c.mu.Lock()
+			c.mem[key] = d
+			c.mu.Unlock()
+			b, ok = d, true
+		}
+	}
+	if ok {
+		c.hits.Add(1)
+		return b, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores the bytes under key in memory and, when configured, on disk
+// via an atomic rename so readers never observe a partial artifact.
+func (c *Cache) Put(key string, data []byte) error {
+	c.mu.Lock()
+	c.mem[key] = data
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil
+	}
+	dst := c.path(key)
+	tmp, err := os.CreateTemp(c.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("axserver: cache write: %w", err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("axserver: cache write: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("axserver: cache write: %w", err)
+	}
+	return nil
+}
+
+// Delete removes an entry from memory and disk — used to self-heal when a
+// stored artifact turns out to be corrupt, so the next request recomputes
+// instead of failing forever on the poisoned key.
+func (c *Cache) Delete(key string) {
+	c.mu.Lock()
+	delete(c.mem, key)
+	c.mu.Unlock()
+	if c.dir != "" {
+		os.Remove(c.path(key))
+	}
+}
+
+// Stats returns the hit/miss counters and the in-memory entry count.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.mem)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}

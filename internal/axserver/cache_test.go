@@ -1,0 +1,98 @@
+package axserver
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestCacheMemory(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("library/a"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	if err := c.Put("library/a", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	b, ok := c.Get("library/a")
+	if !ok || string(b) != "x" {
+		t.Fatalf("got %q ok=%v", b, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1/1/1", st)
+	}
+}
+
+func TestCacheDisk(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Put("library/k", []byte(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	// The artifact is a real file with the namespace folded into the name.
+	if _, err := os.Stat(filepath.Join(dir, "library-k.json")); err != nil {
+		t.Fatalf("on-disk artifact missing: %v", err)
+	}
+	// A fresh instance over the same directory warms from disk.
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := c2.Get("library/k")
+	if !ok || string(b) != `{"v":1}` {
+		t.Fatalf("disk promote failed: %q ok=%v", b, ok)
+	}
+	if st := c2.Stats(); st.Hits != 1 {
+		t.Fatalf("disk promote not counted as hit: %+v", st)
+	}
+	// Overwrite is atomic and visible.
+	if err := c2.Put("library/k", []byte(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := c2.Get("library/k"); string(b) != `{"v":2}` {
+		t.Fatalf("overwrite not visible: %q", b)
+	}
+	// Delete removes both tiers.
+	c2.Delete("library/k")
+	if _, ok := c2.Get("library/k"); ok {
+		t.Fatal("entry survived Delete in memory")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "library-k.json")); !os.IsNotExist(err) {
+		t.Fatalf("entry survived Delete on disk: %v", err)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k/%d", i%4)
+			for j := 0; j < 50; j++ {
+				if err := c.Put(key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Get(key)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries != 4 {
+		t.Fatalf("entries %d, want 4", st.Entries)
+	}
+}

@@ -1,0 +1,148 @@
+package axserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; library specs and configuration
+// batches are small, so 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+// Handler returns the service's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/libraries", s.handleSubmitLibrary)
+	mux.HandleFunc("GET /v1/libraries/{key}", s.handleGetLibrary)
+	mux.HandleFunc("POST /v1/evaluate", s.handleSubmitEvaluate)
+	mux.HandleFunc("POST /v1/pipelines", s.handleSubmitPipeline)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// writeJSON encodes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError sends the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// decodeBody strictly decodes a JSON request body into v, writing the
+// error response itself (400 for malformed JSON, 413 for oversized
+// bodies).  It reports whether decoding succeeded.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", int64(maxBodyBytes)))
+		} else {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		}
+		return false
+	}
+	return true
+}
+
+// submitResponse accepts a job submission: 202 with the queued job info,
+// 503 when racing shutdown, 400 for invalid requests.
+func submitResponse(w http.ResponseWriter, info JobInfo, err error) {
+	switch {
+	case errors.Is(err, ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeJSON(w, http.StatusAccepted, info)
+	}
+}
+
+func (s *Server) handleSubmitLibrary(w http.ResponseWriter, r *http.Request) {
+	var req LibraryRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.SubmitLibrary(req)
+	submitResponse(w, info, err)
+}
+
+func (s *Server) handleGetLibrary(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	b, ok := s.LibraryBytes(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no library with key %s", key))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(b)
+}
+
+func (s *Server) handleSubmitEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req EvaluateRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.SubmitEvaluate(req)
+	submitResponse(w, info, err)
+}
+
+func (s *Server) handleSubmitPipeline(w http.ResponseWriter, r *http.Request) {
+	var req PipelineRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	info, err := s.SubmitPipeline(req)
+	submitResponse(w, info, err)
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.List())
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.manager.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job with id %s", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok, cancellable := s.manager.Cancel(id)
+	switch {
+	case !ok:
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job with id %s", id))
+	case !cancellable:
+		writeJSON(w, http.StatusConflict, errorBody{
+			Error: fmt.Sprintf("job %s is already %s", id, info.State),
+		})
+	default:
+		writeJSON(w, http.StatusOK, info)
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

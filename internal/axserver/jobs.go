@@ -1,0 +1,226 @@
+package axserver
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// runFunc executes one job under its cancellation context.  It returns the
+// kind-specific result payload and whether it was served from the cache.
+type runFunc func(ctx context.Context) (result any, cached bool, err error)
+
+// Job is one asynchronous unit of work: a library build, a precise
+// evaluation batch, or a full pipeline run.  Mutable state is guarded by
+// the owning Manager's mutex.
+type Job struct {
+	info JobInfo
+	// seq is the creation order, used (rather than the ID string, whose
+	// lexicographic order breaks past the zero padding) for list ordering
+	// and oldest-first eviction.
+	seq    int
+	run    runFunc
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done is closed when the job reaches a terminal state; tests and the
+	// pool use it to wait without polling.
+	done chan struct{}
+}
+
+// DefaultJobRetention caps how many terminal (succeeded, failed or
+// cancelled) jobs a Manager keeps before evicting the oldest, bounding
+// memory on a long-running service.  Queued and running jobs are never
+// evicted.
+const DefaultJobRetention = 1000
+
+// Manager tracks every job of one server: creation, state transitions,
+// cancellation, and snapshots for the HTTP layer.  Safe for concurrent use.
+type Manager struct {
+	clock func() time.Time
+	// retain caps the terminal jobs kept (≤0 means DefaultJobRetention).
+	retain int
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
+}
+
+// NewManager returns an empty job manager with the default retention.
+func NewManager() *Manager {
+	return &Manager{clock: time.Now, retain: DefaultJobRetention, jobs: make(map[string]*Job)}
+}
+
+// evictLocked drops the oldest terminal jobs beyond the retention cap.
+// Callers hold m.mu.
+func (m *Manager) evictLocked() {
+	limit := m.retain
+	if limit <= 0 {
+		limit = DefaultJobRetention
+	}
+	var terminal []*Job
+	for _, j := range m.jobs {
+		if j.info.State.Terminal() {
+			terminal = append(terminal, j)
+		}
+	}
+	if len(terminal) <= limit {
+		return
+	}
+	sort.Slice(terminal, func(i, k int) bool { return terminal[i].seq < terminal[k].seq })
+	for _, j := range terminal[:len(terminal)-limit] {
+		delete(m.jobs, j.info.ID)
+	}
+}
+
+// Create registers a new queued job of the given kind.  The base context
+// is the server's lifetime: shutting the server down cancels every job.
+func (m *Manager) Create(base context.Context, kind string, run runFunc) *Job {
+	ctx, cancel := context.WithCancel(base)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	j := &Job{
+		info: JobInfo{
+			ID:      fmt.Sprintf("job-%06d", m.seq),
+			Kind:    kind,
+			State:   JobQueued,
+			Created: m.clock(),
+		},
+		seq:    m.seq,
+		run:    run,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	m.jobs[j.info.ID] = j
+	return j
+}
+
+// Done returns the channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.info.ID }
+
+// Get returns a snapshot of the job, or false when the ID is unknown.
+func (m *Manager) Get(id string) (JobInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return j.info, true
+}
+
+// List returns snapshots of every job, oldest first.
+func (m *Manager) List() []JobInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
+	out := make([]JobInfo, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.info
+	}
+	return out
+}
+
+// Counts returns the number of jobs per state.
+func (m *Manager) Counts() map[JobState]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[JobState]int)
+	for _, j := range m.jobs {
+		out[j.info.State]++
+	}
+	return out
+}
+
+// Cancel requests cancellation of a job.  A queued job transitions to
+// cancelled immediately (the pool skips it); a running job's context is
+// cancelled and the job transitions when its stage checkpoint observes the
+// cancellation.  Returns the post-cancel snapshot, whether the ID exists,
+// and whether the job was still cancellable.
+func (m *Manager) Cancel(id string) (JobInfo, bool, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return JobInfo{}, false, false
+	}
+	switch j.info.State {
+	case JobQueued:
+		j.info.State = JobCancelled
+		j.info.Ended = m.clock()
+		info := j.info
+		close(j.done)
+		m.evictLocked()
+		m.mu.Unlock()
+		j.cancel()
+		return info, true, true
+	case JobRunning:
+		info := j.info
+		m.mu.Unlock()
+		j.cancel()
+		return info, true, true
+	default:
+		info := j.info
+		m.mu.Unlock()
+		return info, true, false
+	}
+}
+
+// markRunning transitions a queued job to running.  It returns false when
+// the job is no longer queued (cancelled while waiting), in which case the
+// pool must skip it.
+func (m *Manager) markRunning(j *Job) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.info.State != JobQueued {
+		return false
+	}
+	j.info.State = JobRunning
+	j.info.Started = m.clock()
+	return true
+}
+
+// finish records the outcome of a run.  Cancellation (a run returning the
+// context's error) lands in the cancelled state, other errors in failed.
+func (m *Manager) finish(j *Job, ctxErr error, result any, cached bool, err error) {
+	// Encode outside the lock: a multi-MB result payload must not stall
+	// concurrent job polling.
+	var encoded []byte
+	var encErr error
+	if err == nil {
+		encoded, encErr = json.Marshal(result)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.info.State != JobRunning {
+		return
+	}
+	j.info.Ended = m.clock()
+	switch {
+	case err != nil && ctxErr != nil:
+		j.info.State = JobCancelled
+	case err != nil:
+		j.info.State = JobFailed
+		j.info.Error = err.Error()
+	case encErr != nil:
+		j.info.State = JobFailed
+		j.info.Error = "encoding result: " + encErr.Error()
+	default:
+		j.info.State = JobSucceeded
+		j.info.Cached = cached
+		j.info.Result = encoded
+	}
+	close(j.done)
+	m.evictLocked()
+}

@@ -1,0 +1,111 @@
+package axserver
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Pool runs jobs from an unbounded FIFO queue on a bounded set of workers.
+// Jobs are accepted immediately (the queue absorbs bursts) and executed in
+// submission order as workers free up; per-job cancellation happens through
+// the job's context, not the pool.
+type Pool struct {
+	manager *Manager
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []*Job
+	closed bool
+
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewPool starts workers goroutines draining the queue.
+func NewPool(manager *Manager, workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{manager: manager, workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// QueueLen returns the number of jobs waiting for a worker.
+func (p *Pool) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// Submit appends the job to the FIFO queue.  It returns false after Close.
+func (p *Pool) Submit(j *Job) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.queue = append(p.queue, j)
+	p.cond.Signal()
+	return true
+}
+
+// Close stops accepting jobs and waits for the workers to drain what is
+// already queued.  Callers wanting a fast shutdown cancel the jobs' base
+// context first so running work aborts at its next checkpoint.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// worker pops jobs in FIFO order until the pool closes.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		j := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		// A job cancelled while queued has already reached its terminal
+		// state; skip execution.
+		if !p.manager.markRunning(j) {
+			continue
+		}
+		result, cached, err := p.runSafe(j)
+		p.manager.finish(j, j.ctx.Err(), result, cached, err)
+		j.cancel() // release the context's resources
+	}
+}
+
+// runSafe executes a job, converting a panic into a failed job instead of
+// letting it kill the worker (and with it the server and every queued job).
+func (p *Pool) runSafe(j *Job) (result any, cached bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			result, cached, err = nil, false, fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return j.run(j.ctx)
+}

@@ -1,0 +1,201 @@
+package axserver
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestPoolFIFO checks that a single worker executes jobs in submission
+// order.
+func TestPoolFIFO(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 1)
+	defer p.Close()
+
+	var mu sync.Mutex
+	var order []int
+	jobs := make([]*Job, 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return i, false, nil
+		})
+	}
+	for _, j := range jobs {
+		if !p.Submit(j) {
+			t.Fatal("submit rejected")
+		}
+	}
+	for _, j := range jobs {
+		<-j.Done()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v is not FIFO", order)
+		}
+	}
+}
+
+// TestPoolSkipsCancelledQueuedJob checks a job cancelled before a worker
+// reaches it never executes.
+func TestPoolSkipsCancelledQueuedJob(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 1)
+	defer p.Close()
+
+	release := make(chan struct{})
+	ran := make(chan string, 2)
+	blocker := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		ran <- "blocker"
+		<-release
+		return nil, false, nil
+	})
+	victim := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		ran <- "victim"
+		return nil, false, nil
+	})
+	p.Submit(blocker)
+	p.Submit(victim)
+	<-ran // blocker is now occupying the only worker
+
+	info, ok, cancellable := m.Cancel(victim.ID())
+	if !ok || !cancellable {
+		t.Fatalf("cancel queued: ok=%v cancellable=%v", ok, cancellable)
+	}
+	if info.State != JobCancelled {
+		t.Fatalf("queued job state %s after cancel", info.State)
+	}
+	close(release)
+	<-blocker.Done()
+	<-victim.Done()
+	select {
+	case who := <-ran:
+		t.Fatalf("%s executed after cancellation", who)
+	default:
+	}
+	if got, _ := m.Get(victim.ID()); got.State != JobCancelled {
+		t.Fatalf("victim ended as %s", got.State)
+	}
+}
+
+// TestPoolCancelRunning checks a running job lands in the cancelled state
+// when its context is cancelled mid-run.
+func TestPoolCancelRunning(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 1)
+	defer p.Close()
+
+	started := make(chan struct{})
+	j := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		close(started)
+		<-ctx.Done()
+		return nil, false, ctx.Err()
+	})
+	p.Submit(j)
+	<-started
+	if _, ok, cancellable := m.Cancel(j.ID()); !ok || !cancellable {
+		t.Fatal("cancel running failed")
+	}
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled job never finished")
+	}
+	if info, _ := m.Get(j.ID()); info.State != JobCancelled {
+		t.Fatalf("state %s, want cancelled", info.State)
+	}
+}
+
+// TestPoolClose checks Close drains queued work and rejects later submits.
+func TestPoolClose(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 2)
+	var jobs []*Job
+	for i := 0; i < 6; i++ {
+		j := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+			return nil, false, nil
+		})
+		jobs = append(jobs, j)
+		p.Submit(j)
+	}
+	p.Close()
+	for _, j := range jobs {
+		if info, _ := m.Get(j.ID()); info.State != JobSucceeded {
+			t.Fatalf("job %s ended as %s after Close", j.ID(), info.State)
+		}
+	}
+	late := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		return nil, false, nil
+	})
+	if p.Submit(late) {
+		t.Fatal("submit accepted after Close")
+	}
+}
+
+// TestPoolRecoversPanic checks a panicking job becomes a failed job
+// instead of killing the worker.
+func TestPoolRecoversPanic(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 1)
+	defer p.Close()
+
+	bad := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		panic("boom")
+	})
+	p.Submit(bad)
+	<-bad.Done()
+	info, _ := m.Get(bad.ID())
+	if info.State != JobFailed || info.Error != "job panicked: boom" {
+		t.Fatalf("panicking job: %+v", info)
+	}
+	// The worker survived and still executes the next job.
+	ok := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		return "fine", false, nil
+	})
+	p.Submit(ok)
+	select {
+	case <-ok.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker dead after panic")
+	}
+	if info, _ := m.Get(ok.ID()); info.State != JobSucceeded {
+		t.Fatalf("follow-up job: %s", info.State)
+	}
+}
+
+// TestManagerStateMachine covers the failed state and result encoding.
+func TestManagerStateMachine(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 1)
+	defer p.Close()
+
+	fail := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		return nil, false, context.DeadlineExceeded
+	})
+	p.Submit(fail)
+	<-fail.Done()
+	info, _ := m.Get(fail.ID())
+	if info.State != JobFailed || info.Error == "" {
+		t.Fatalf("failed job: %+v", info)
+	}
+
+	ok := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		return map[string]int{"n": 3}, true, nil
+	})
+	p.Submit(ok)
+	<-ok.Done()
+	info, _ = m.Get(ok.ID())
+	if info.State != JobSucceeded || !info.Cached || string(info.Result) != `{"n":3}` {
+		t.Fatalf("succeeded job: %+v", info)
+	}
+	if counts := m.Counts(); counts[JobFailed] != 1 || counts[JobSucceeded] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+}

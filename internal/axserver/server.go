@@ -1,0 +1,566 @@
+// Package axserver exposes the autoAx methodology as an asynchronous
+// HTTP/JSON job service: library builds (POST /v1/libraries), precise
+// configuration evaluation (POST /v1/evaluate) and full methodology runs
+// (POST /v1/pipelines) are accepted as jobs, executed on a bounded worker
+// pool in FIFO order, and polled via GET /v1/jobs/{id}.  DELETE
+// /v1/jobs/{id} cancels a job — queued jobs immediately, running jobs at
+// their next pipeline-stage checkpoint via context cancellation.
+//
+// Expensive artifacts are content-addressed: a library build is keyed by
+// the canonical hash of its (specs, seed, options) and a pipeline run by
+// the hash of its full request, so repeated identical requests are served
+// from an in-memory + on-disk cache without recomputation.  This is the
+// paper's central economics — the one-time cost of library construction
+// and model training amortized over many design queries — turned into a
+// service boundary.
+package axserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"time"
+
+	"autoax/internal/accel"
+	"autoax/internal/acl"
+	"autoax/internal/apps"
+	"autoax/internal/core"
+	"autoax/internal/dse"
+	"autoax/internal/imagedata"
+	"autoax/internal/ml"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers bounds concurrent job execution (default GOMAXPROCS).
+	Workers int
+	// CacheDir persists content-addressed artifacts across restarts;
+	// empty keeps the cache in memory only.
+	CacheDir string
+	// JobRetention caps the terminal jobs kept in memory (0 means
+	// DefaultJobRetention); queued and running jobs are never evicted.
+	JobRetention int
+}
+
+// Server owns the job manager, the worker pool and the artifact cache.
+// Create with New, mount Handler on an http.Server, and Close on shutdown.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	manager *Manager
+	pool    *Pool
+
+	// base is the lifetime of all jobs; cancelling it aborts running work.
+	base       context.Context
+	cancelBase context.CancelFunc
+	started    time.Time
+}
+
+// New validates the options and starts the worker pool.
+func New(opts Options) (*Server, error) {
+	if opts.Workers == 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("axserver: workers must be positive, got %d", opts.Workers)
+	}
+	cache, err := NewCache(opts.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.JobRetention < 0 {
+		return nil, fmt.Errorf("axserver: job retention must be non-negative, got %d", opts.JobRetention)
+	}
+	base, cancel := context.WithCancel(context.Background())
+	manager := NewManager()
+	if opts.JobRetention > 0 {
+		manager.retain = opts.JobRetention
+	}
+	s := &Server{
+		opts:       opts,
+		cache:      cache,
+		manager:    manager,
+		pool:       NewPool(manager, opts.Workers),
+		base:       base,
+		cancelBase: cancel,
+		started:    time.Now(),
+	}
+	return s, nil
+}
+
+// Close cancels every job and waits for the workers to exit.
+func (s *Server) Close() {
+	s.cancelBase()
+	s.pool.Close()
+}
+
+// CacheStats returns the artifact cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// Stats returns a service-health snapshot.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Workers:   s.pool.Workers(),
+		QueueLen:  s.pool.QueueLen(),
+		Jobs:      s.manager.Counts(),
+		Cache:     s.cache.Stats(),
+		UptimeSec: time.Since(s.started).Seconds(),
+	}
+}
+
+// ErrShuttingDown is returned by submissions racing Server.Close; the HTTP
+// layer maps it to 503 so clients retry instead of treating the request as
+// invalid.
+var ErrShuttingDown = errors.New("axserver: server is shut down")
+
+// submit registers and enqueues a job.
+func (s *Server) submit(kind string, run runFunc) (JobInfo, error) {
+	j := s.manager.Create(s.base, kind, run)
+	if !s.pool.Submit(j) {
+		// Never executed: cancel so it doesn't linger as a phantom
+		// queued job.
+		s.manager.Cancel(j.ID())
+		return JobInfo{}, ErrShuttingDown
+	}
+	info, _ := s.manager.Get(j.ID())
+	return info, nil
+}
+
+// Cache keyspaces, one per content-addressed artifact kind.
+const (
+	libraryKeyspace  = "library/"
+	evaluateKeyspace = "evaluate/"
+	pipelineKeyspace = "pipeline/"
+)
+
+// defaultGFKernels is the generic Gaussian filter's default coefficient-
+// set count, shared by request execution (buildApp) and content hashing
+// (normalizeKernels) so the two can never diverge.
+const defaultGFKernels = 2
+
+// maxKernels caps the generic-GF coefficient sets one request may ask for
+// (the paper uses 50) so a single submission cannot exhaust memory.
+const maxKernels = 64
+
+// normalizeKernels applies buildApp's defaulting: kernels only matter for
+// the generic Gaussian filter, where zero means defaultGFKernels.
+func normalizeKernels(app string, kernels int) int {
+	if app != "genericgf" {
+		return 0
+	}
+	if kernels <= 0 {
+		return defaultGFKernels
+	}
+	return kernels
+}
+
+// validateKernels bounds the kernel count before any allocation happens.
+func validateKernels(kernels int) error {
+	if kernels > maxKernels {
+		return fmt.Errorf("kernels %d exceeds the limit of %d", kernels, maxKernels)
+	}
+	return nil
+}
+
+// normalized applies the execution path's defaulting so equivalent
+// requests hash to the same content key.
+func (r EvaluateRequest) normalized() EvaluateRequest {
+	r.Kernels = normalizeKernels(r.App, r.Kernels)
+	r.Images = r.Images.normalized()
+	return r
+}
+
+// normalized applies the execution path's defaulting (core.DefaultConfig
+// budgets, default engine, seed 1) so equivalent requests hash to the same
+// content key.
+func (r PipelineRequest) normalized() PipelineRequest {
+	r.Kernels = normalizeKernels(r.App, r.Kernels)
+	r.Images = r.Images.normalized()
+	d := core.DefaultConfig()
+	if r.TrainConfigs <= 0 {
+		r.TrainConfigs = d.TrainConfigs
+	}
+	if r.TestConfigs <= 0 {
+		r.TestConfigs = d.TestConfigs
+	}
+	if r.SearchEvals <= 0 {
+		r.SearchEvals = d.SearchEvals
+	}
+	if r.Stagnation <= 0 {
+		r.Stagnation = d.Stagnation
+	}
+	if r.Seed == 0 {
+		r.Seed = d.Seed
+	}
+	if r.Engine == "" {
+		r.Engine = d.Engine.Name
+	}
+	return r
+}
+
+// requestKey content-addresses a job request: the canonical hash of the
+// library's canonical key plus the rest of the request (with the library
+// field zeroed by the caller, so equivalent library descriptions collide).
+func requestKey(libKey string, rest any) (string, error) {
+	b, err := json.Marshal(struct {
+		LibKey string `json:"libKey"`
+		Rest   any    `json:"rest"`
+	}{libKey, rest})
+	if err != nil {
+		return "", err
+	}
+	return acl.HashBytes(b), nil
+}
+
+// resolveLibrary returns the library for a request, served from the cache
+// when an identical build exists.  On a miss the library is built (checking
+// ctx between circuit characterizations), stored under its canonical key,
+// and returned; cached reports which path ran.
+func (s *Server) resolveLibrary(ctx context.Context, req LibraryRequest) (lib *acl.Library, key string, cached bool, err error) {
+	specs, seed, opts, err := req.buildInputs()
+	if err != nil {
+		return nil, "", false, err
+	}
+	key = acl.CanonicalKey(specs, seed, opts)
+	if b, ok := s.cache.Get(libraryKeyspace + key); ok {
+		lib, err := acl.LoadBytes(b)
+		if err == nil {
+			return lib, key, true, nil
+		}
+		// A corrupt artifact must not poison the key forever: drop it
+		// and rebuild.
+		s.cache.Delete(libraryKeyspace + key)
+	}
+	lib, err = acl.BuildContext(ctx, specs, seed, opts)
+	if err != nil {
+		return nil, "", false, err
+	}
+	b, err := json.Marshal(lib)
+	if err != nil {
+		return nil, "", false, err
+	}
+	// Persistence is best-effort: the artifact is already in the memory
+	// tier, so a full disk must not turn a finished build into a failure.
+	_ = s.cache.Put(libraryKeyspace+key, b)
+	return lib, key, false, nil
+}
+
+// LibraryBytes returns the serialized cached library for a canonical key.
+func (s *Server) LibraryBytes(key string) ([]byte, bool) {
+	return s.cache.Get(libraryKeyspace + key)
+}
+
+// SubmitLibrary enqueues a library-build job.
+func (s *Server) SubmitLibrary(req LibraryRequest) (JobInfo, error) {
+	if _, err := req.Key(); err != nil { // validate before queueing
+		return JobInfo{}, err
+	}
+	return s.submit("library", func(ctx context.Context) (any, bool, error) {
+		lib, key, cached, err := s.resolveLibrary(ctx, req)
+		if err != nil {
+			return nil, false, err
+		}
+		ops := make(map[string]int, len(lib.Circuits))
+		for op, cs := range lib.Circuits {
+			ops[op] = len(cs)
+		}
+		return LibraryResult{Key: key, Size: lib.Size(), Ops: ops}, cached, nil
+	})
+}
+
+// appBuilders is the single registry of case-study accelerators: the app-
+// name validation, the content-hash normalization and the construction all
+// dispatch through it, so adding an app cannot leave them inconsistent.
+// Kernels arrive pre-normalized (normalizeKernels) and only matter for the
+// generic Gaussian filter.
+var appBuilders = map[string]func(kernels int) *accel.ImageApp{
+	"sobel":   func(int) *accel.ImageApp { return apps.Sobel() },
+	"fixedgf": func(int) *accel.ImageApp { return apps.FixedGF() },
+	"genericgf": func(kernels int) *accel.ImageApp {
+		return apps.GenericGF(apps.GenericGFKernels(kernels))
+	},
+}
+
+// validateApp checks the app name without allocating anything — safe for
+// the HTTP submission path.
+func validateApp(name string) error {
+	if _, ok := appBuilders[name]; !ok {
+		return fmt.Errorf("unknown app %q (want sobel, fixedgf or genericgf)", name)
+	}
+	return nil
+}
+
+// buildApp instantiates a case-study accelerator by name.
+func buildApp(name string, kernels int) (*accel.ImageApp, error) {
+	if err := validateApp(name); err != nil {
+		return nil, err
+	}
+	return appBuilders[name](normalizeKernels(name, kernels)), nil
+}
+
+// Image-set limits: per-dimension bounds small enough that their product
+// cannot overflow int64, plus a total pixel budget (~28× the paper's full
+// 24-image 384×256 set) so a single job cannot exhaust memory.
+const (
+	maxImageCount  = 4096
+	maxImageDim    = 8192
+	maxImagePixels = 1 << 26
+)
+
+// validateImages rejects impossible or abusive image specs without
+// materializing any pixels — cheap enough for the HTTP submission path.
+func validateImages(spec ImageSpec) error {
+	if spec.Count <= 0 || spec.Width <= 0 || spec.Height <= 0 {
+		return fmt.Errorf("images need positive count/width/height, got %d/%d/%d",
+			spec.Count, spec.Width, spec.Height)
+	}
+	// Bound each dimension before forming the product so the budget check
+	// cannot be bypassed by overflow.
+	if spec.Count > maxImageCount || spec.Width > maxImageDim || spec.Height > maxImageDim {
+		return fmt.Errorf("image spec %d/%d/%d exceeds the per-dimension limits %d/%d/%d",
+			spec.Count, spec.Width, spec.Height, maxImageCount, maxImageDim, maxImageDim)
+	}
+	if px := int64(spec.Count) * int64(spec.Width) * int64(spec.Height); px > maxImagePixels {
+		return fmt.Errorf("image set of %d pixels exceeds the %d-pixel limit", px, int64(maxImagePixels))
+	}
+	return nil
+}
+
+// buildImages materializes the deterministic benchmark image set.
+func buildImages(spec ImageSpec) ([]*imagedata.Image, error) {
+	if err := validateImages(spec); err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return imagedata.BenchmarkSet(spec.Count, spec.Width, spec.Height, seed), nil
+}
+
+// maxEvalConfigs caps the configurations one evaluate job may carry, so a
+// single submission cannot monopolize a worker indefinitely; larger sweeps
+// are split across jobs (which then interleave fairly in the FIFO queue).
+const maxEvalConfigs = 10000
+
+// SubmitEvaluate enqueues a precise-evaluation job.
+func (s *Server) SubmitEvaluate(req EvaluateRequest) (JobInfo, error) {
+	if err := validateApp(req.App); err != nil {
+		return JobInfo{}, err
+	}
+	if err := validateKernels(req.Kernels); err != nil {
+		return JobInfo{}, err
+	}
+	if _, err := req.Library.Key(); err != nil {
+		return JobInfo{}, err
+	}
+	if err := validateImages(req.Images); err != nil {
+		return JobInfo{}, err
+	}
+	if len(req.Configs) == 0 {
+		return JobInfo{}, fmt.Errorf("evaluate request needs at least one configuration")
+	}
+	if len(req.Configs) > maxEvalConfigs {
+		return JobInfo{}, fmt.Errorf("evaluate request carries %d configurations, limit is %d per job",
+			len(req.Configs), maxEvalConfigs)
+	}
+	return s.submit("evaluate", func(ctx context.Context) (any, bool, error) {
+		return s.runEvaluate(ctx, req)
+	})
+}
+
+// runEvaluate executes an evaluate job: the configuration space is the
+// full (unreduced) library per operation node, indices in stored
+// area-sorted order.  Identical repeated requests are served from the
+// content-addressed result cache.
+func (s *Server) runEvaluate(ctx context.Context, req EvaluateRequest) (any, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	req = req.normalized()
+	resKey, err := evaluateKey(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if b, ok := s.cache.Get(evaluateKeyspace + resKey); ok {
+		var res EvaluateResult
+		if err := json.Unmarshal(b, &res); err == nil {
+			return res, true, nil
+		}
+		s.cache.Delete(evaluateKeyspace + resKey) // self-heal corrupt entries
+	}
+	app, err := buildApp(req.App, req.Kernels)
+	if err != nil {
+		return nil, false, err
+	}
+	images, err := buildImages(req.Images)
+	if err != nil {
+		return nil, false, err
+	}
+	lib, key, _, err := s.resolveLibrary(ctx, req.Library)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	ev, err := accel.NewEvaluator(app, images)
+	if err != nil {
+		return nil, false, err
+	}
+	ops := app.Graph.OpNodes()
+	space := make(dse.Space, len(ops))
+	for i, id := range ops {
+		op := app.Graph.Nodes[id].Op
+		space[i] = lib.For(op)
+		if len(space[i]) == 0 {
+			return nil, false, fmt.Errorf("library %s has no circuits for %s", key, op)
+		}
+	}
+	for ci, cfg := range req.Configs {
+		if len(cfg) != len(space) {
+			return nil, false, fmt.Errorf("config %d has %d indices, app %s has %d operations",
+				ci, len(cfg), req.App, len(space))
+		}
+		for i, idx := range cfg {
+			if idx < 0 || idx >= len(space[i]) {
+				return nil, false, fmt.Errorf("config %d: index %d out of range for operation %d (%d circuits)",
+					ci, idx, i, len(space[i]))
+			}
+		}
+	}
+	res, err := dse.EvaluateAllContext(ctx, ev, space, req.Configs)
+	if err != nil {
+		return nil, false, err
+	}
+	out := make([]EvalResult, len(res))
+	for i, r := range res {
+		out[i] = EvalResult{SSIM: r.SSIM, Area: r.Area, Delay: r.Delay,
+			Power: r.Power, Energy: r.Energy, Gates: r.Gates}
+	}
+	result := EvaluateResult{LibraryKey: key, Results: out}
+	if b, err := json.Marshal(result); err == nil {
+		_ = s.cache.Put(evaluateKeyspace+resKey, b) // best-effort persistence
+	}
+	return result, false, nil
+}
+
+// pipelineKey content-addresses a full pipeline request after defaulting.
+func pipelineKey(req PipelineRequest) (string, error) {
+	libKey, err := req.Library.Key()
+	if err != nil {
+		return "", err
+	}
+	canon := req.normalized()
+	canon.Library = LibraryRequest{} // represented by its canonical key
+	return requestKey(libKey, canon)
+}
+
+// evaluateKey content-addresses a full evaluate request after defaulting.
+func evaluateKey(req EvaluateRequest) (string, error) {
+	libKey, err := req.Library.Key()
+	if err != nil {
+		return "", err
+	}
+	canon := req.normalized()
+	canon.Library = LibraryRequest{} // represented by its canonical key
+	return requestKey(libKey, canon)
+}
+
+// SubmitPipeline enqueues a full methodology run.
+func (s *Server) SubmitPipeline(req PipelineRequest) (JobInfo, error) {
+	if err := validateApp(req.App); err != nil {
+		return JobInfo{}, err
+	}
+	if err := validateKernels(req.Kernels); err != nil {
+		return JobInfo{}, err
+	}
+	if req.Engine != "" {
+		if _, err := ml.EngineByName(req.Engine); err != nil {
+			return JobInfo{}, err
+		}
+	}
+	if err := validateImages(req.Images); err != nil {
+		return JobInfo{}, err
+	}
+	if _, err := pipelineKey(req); err != nil {
+		return JobInfo{}, err
+	}
+	return s.submit("pipeline", func(ctx context.Context) (any, bool, error) {
+		return s.runPipeline(ctx, req)
+	})
+}
+
+// runPipeline executes a pipeline job, serving identical repeated requests
+// from the content-addressed cache.
+func (s *Server) runPipeline(ctx context.Context, req PipelineRequest) (any, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	req = req.normalized()
+	key, err := pipelineKey(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if b, ok := s.cache.Get(pipelineKeyspace + key); ok {
+		var res PipelineResult
+		if err := json.Unmarshal(b, &res); err == nil {
+			return res, true, nil
+		}
+		s.cache.Delete(pipelineKeyspace + key) // self-heal corrupt entries
+	}
+	app, err := buildApp(req.App, req.Kernels)
+	if err != nil {
+		return nil, false, err
+	}
+	images, err := buildImages(req.Images)
+	if err != nil {
+		return nil, false, err
+	}
+	lib, libKey, _, err := s.resolveLibrary(ctx, req.Library)
+	if err != nil {
+		return nil, false, err
+	}
+	// normalized() has already applied core.DefaultConfig's defaulting, so
+	// every field maps straight across.
+	spec, err := ml.EngineByName(req.Engine)
+	if err != nil {
+		return nil, false, err
+	}
+	cfg := core.Config{
+		TrainConfigs: req.TrainConfigs,
+		TestConfigs:  req.TestConfigs,
+		SearchEvals:  req.SearchEvals,
+		Stagnation:   req.Stagnation,
+		Seed:         req.Seed,
+		AutoEngine:   req.AutoEngine,
+		Engine:       spec,
+	}
+	pipe, err := core.NewPipeline(app, lib, images, cfg)
+	if err != nil {
+		return nil, false, err
+	}
+	if err := pipe.RunContext(ctx); err != nil {
+		return nil, false, err
+	}
+	cfgs, results := pipe.FrontResults()
+	front := make([]FrontEntry, len(cfgs))
+	for i, c := range cfgs {
+		front[i] = FrontEntry{Config: c, SSIM: results[i].SSIM,
+			Area: results[i].Area, Energy: results[i].Energy}
+	}
+	res := PipelineResult{
+		LibraryKey:   libKey,
+		SpaceConfigs: pipe.Space.NumConfigs(),
+		QoRFidelity:  pipe.QoRFidelity,
+		HWFidelity:   pipe.HWFidelity,
+		Engine:       pipe.Opt.Engine.Name,
+		Front:        front,
+	}
+	if b, err := json.Marshal(res); err == nil {
+		_ = s.cache.Put(pipelineKeyspace+key, b) // best-effort persistence
+	}
+	return res, false, nil
+}

@@ -1,0 +1,739 @@
+package axserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"autoax/internal/acl"
+	"autoax/internal/pmf"
+)
+
+// tinyLibrary covers Sobel's operation mix (add8 ×2, add9 ×2, sub10) at a
+// size that characterizes in well under a second.
+func tinyLibrary(seed int64) LibraryRequest {
+	return LibraryRequest{
+		Specs: []SpecRequest{
+			{Op: "add8", Count: 8},
+			{Op: "add9", Count: 8},
+			{Op: "sub10", Count: 6},
+		},
+		Seed: seed,
+	}
+}
+
+// tinyPipeline is a seconds-scale full methodology run.
+func tinyPipeline(seed int64) PipelineRequest {
+	return PipelineRequest{
+		App:          "sobel",
+		Library:      tinyLibrary(1),
+		Images:       ImageSpec{Count: 2, Width: 32, Height: 24, Seed: 5},
+		TrainConfigs: 24,
+		TestConfigs:  12,
+		SearchEvals:  2000,
+		Seed:         seed,
+	}
+}
+
+// testServer starts an httptest server over a fresh axserver.
+func testServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+// postJSON submits a body and decodes the response envelope.
+func postJSON(t *testing.T, url string, body, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal request: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// getJSON fetches a URL and decodes the response.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// waitJob polls a job until it reaches a terminal state.
+func waitJob(t *testing.T, base, id string) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		var info JobInfo
+		if code := getJSON(t, base+"/v1/jobs/"+id, &info); code != http.StatusOK {
+			t.Fatalf("GET job %s: status %d", id, code)
+		}
+		if info.State.Terminal() {
+			return info
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s still %s after deadline", id, info.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentPipelines drives two full methodology runs through the job
+// API at once and checks both complete with sane results — the service's
+// core end-to-end path under concurrency.
+func TestConcurrentPipelines(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 2})
+
+	var a, b JobInfo
+	if code := postJSON(t, ts.URL+"/v1/pipelines", tinyPipeline(11), &a); code != http.StatusAccepted {
+		t.Fatalf("submit pipeline a: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/pipelines", tinyPipeline(22), &b); code != http.StatusAccepted {
+		t.Fatalf("submit pipeline b: status %d", code)
+	}
+
+	ra := waitJob(t, ts.URL, a.ID)
+	rb := waitJob(t, ts.URL, b.ID)
+	for _, r := range []JobInfo{ra, rb} {
+		if r.State != JobSucceeded {
+			t.Fatalf("job %s: state %s, error %q", r.ID, r.State, r.Error)
+		}
+		var res PipelineResult
+		if err := json.Unmarshal(r.Result, &res); err != nil {
+			t.Fatalf("job %s: decode result: %v", r.ID, err)
+		}
+		if len(res.Front) == 0 {
+			t.Errorf("job %s: empty final front", r.ID)
+		}
+		if res.QoRFidelity < 0 || res.QoRFidelity > 1 || res.HWFidelity < 0 || res.HWFidelity > 1 {
+			t.Errorf("job %s: fidelities out of range: %v %v", r.ID, res.QoRFidelity, res.HWFidelity)
+		}
+		if res.SpaceConfigs < 1 {
+			t.Errorf("job %s: implausible space size %v", r.ID, res.SpaceConfigs)
+		}
+	}
+	// With two workers and back-to-back submission both jobs must have been
+	// in flight simultaneously.
+	if !(ra.Started.Before(rb.Ended) && rb.Started.Before(ra.Ended)) {
+		t.Errorf("jobs did not overlap: a=[%v,%v] b=[%v,%v]",
+			ra.Started, ra.Ended, rb.Started, rb.Ended)
+	}
+}
+
+// TestLibraryCacheHit checks that a repeated identical library build is
+// answered from the content-addressed cache without recomputation.
+func TestLibraryCacheHit(t *testing.T) {
+	s, ts := testServer(t, Options{Workers: 1})
+
+	var first JobInfo
+	if code := postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(3), &first); code != http.StatusAccepted {
+		t.Fatalf("submit library: status %d", code)
+	}
+	r1 := waitJob(t, ts.URL, first.ID)
+	if r1.State != JobSucceeded {
+		t.Fatalf("first build: state %s, error %q", r1.State, r1.Error)
+	}
+	if r1.Cached {
+		t.Fatalf("first build claims to be cached")
+	}
+	baseline := s.CacheStats()
+
+	var second JobInfo
+	if code := postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(3), &second); code != http.StatusAccepted {
+		t.Fatalf("resubmit library: status %d", code)
+	}
+	r2 := waitJob(t, ts.URL, second.ID)
+	if r2.State != JobSucceeded {
+		t.Fatalf("second build: state %s, error %q", r2.State, r2.Error)
+	}
+	if !r2.Cached {
+		t.Fatalf("identical repeated build was recomputed instead of served from cache")
+	}
+	after := s.CacheStats()
+	if after.Hits != baseline.Hits+1 {
+		t.Errorf("cache hits: got %d, want %d", after.Hits, baseline.Hits+1)
+	}
+
+	var k1, k2 LibraryResult
+	if err := json.Unmarshal(r1.Result, &k1); err != nil {
+		t.Fatalf("decode first result: %v", err)
+	}
+	if err := json.Unmarshal(r2.Result, &k2); err != nil {
+		t.Fatalf("decode second result: %v", err)
+	}
+	if k1.Key != k2.Key || k1.Size != k2.Size {
+		t.Errorf("cache returned a different artifact: %+v vs %+v", k1, k2)
+	}
+
+	// The same counters surface over HTTP for operators.
+	var stats Stats
+	if code := getJSON(t, ts.URL+"/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("GET stats: status %d", code)
+	}
+	if stats.Cache.Hits < 1 {
+		t.Errorf("stats endpoint reports no cache hits: %+v", stats.Cache)
+	}
+}
+
+// TestCancelRunningJob checks that DELETE /v1/jobs/{id} aborts a running
+// pipeline at a stage checkpoint instead of letting it drain its budget.
+func TestCancelRunningJob(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	// A sample budget far beyond the tiny runs: without cancellation this
+	// would precisely evaluate 50k configurations.
+	req := tinyPipeline(9)
+	req.TrainConfigs = 50000
+	req.TestConfigs = 1000
+
+	var job JobInfo
+	if code := postJSON(t, ts.URL+"/v1/pipelines", req, &job); code != http.StatusAccepted {
+		t.Fatalf("submit pipeline: status %d", code)
+	}
+
+	// Wait for the worker to pick the job up.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var info JobInfo
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &info)
+		if info.State == JobRunning {
+			break
+		}
+		if info.State.Terminal() {
+			t.Fatalf("job reached %s before it could be cancelled", info.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancelReq, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	if err != nil {
+		t.Fatalf("build DELETE: %v", err)
+	}
+	resp, err := http.DefaultClient.Do(cancelReq)
+	if err != nil {
+		t.Fatalf("DELETE job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE job: status %d", resp.StatusCode)
+	}
+
+	final := waitJob(t, ts.URL, job.ID)
+	if final.State != JobCancelled {
+		t.Fatalf("cancelled job ended as %s (error %q)", final.State, final.Error)
+	}
+}
+
+// TestCancelRunningLibraryBuild checks that cancellation also lands inside
+// a library build (between circuit characterizations), not just between
+// pipeline stages.
+func TestCancelRunningLibraryBuild(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	// Hundreds of 16-bit circuits: seconds of characterization if allowed
+	// to finish.
+	big := LibraryRequest{
+		Specs: []SpecRequest{{Op: "add16", Count: 400}, {Op: "mul8", Count: 400}},
+		Seed:  1,
+	}
+	var job JobInfo
+	if code := postJSON(t, ts.URL+"/v1/libraries", big, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var info JobInfo
+		getJSON(t, ts.URL+"/v1/jobs/"+job.ID, &info)
+		if info.State == JobRunning {
+			break
+		}
+		if info.State.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job state %s before cancellation", info.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+job.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if final := waitJob(t, ts.URL, job.ID); final.State != JobCancelled {
+		t.Fatalf("library build ended as %s (error %q)", final.State, final.Error)
+	}
+}
+
+// TestCancelQueuedJob checks that a job cancelled while waiting for a
+// worker never runs.
+func TestCancelQueuedJob(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	// Occupy the single worker.
+	blocker := tinyPipeline(7)
+	blocker.TrainConfigs = 50000
+	var running, queued JobInfo
+	if code := postJSON(t, ts.URL+"/v1/pipelines", blocker, &running); code != http.StatusAccepted {
+		t.Fatalf("submit blocker: status %d", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/pipelines", tinyPipeline(8), &queued); code != http.StatusAccepted {
+		t.Fatalf("submit queued: status %d", code)
+	}
+
+	del := func(id string) int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			t.Fatalf("build DELETE: %v", err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("DELETE: %v", err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(queued.ID); code != http.StatusOK {
+		t.Fatalf("DELETE queued job: status %d", code)
+	}
+	info := waitJob(t, ts.URL, queued.ID)
+	if info.State != JobCancelled {
+		t.Fatalf("queued job ended as %s", info.State)
+	}
+	if !info.Started.IsZero() {
+		t.Errorf("cancelled queued job was started anyway at %v", info.Started)
+	}
+	if code := del(running.ID); code != http.StatusOK {
+		t.Fatalf("DELETE blocker: status %d", code)
+	}
+	if final := waitJob(t, ts.URL, running.ID); final.State != JobCancelled {
+		t.Fatalf("blocker ended as %s", final.State)
+	}
+	// Cancelling a finished job is a conflict, not a repeat cancel.
+	if code := del(running.ID); code != http.StatusConflict {
+		t.Errorf("re-cancel of finished job: status %d, want %d", code, http.StatusConflict)
+	}
+}
+
+// TestEvaluateEndpoint drives POST /v1/evaluate end-to-end: explicit
+// configurations of the full library space evaluated precisely.
+func TestEvaluateEndpoint(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	req := EvaluateRequest{
+		App:     "sobel",
+		Library: tinyLibrary(1),
+		Images:  ImageSpec{Count: 2, Width: 32, Height: 24, Seed: 5},
+		Configs: [][]int{
+			{0, 0, 0, 0, 0}, // Sobel has 5 operation nodes
+			{1, 0, 1, 0, 1},
+		},
+	}
+	var job JobInfo
+	if code := postJSON(t, ts.URL+"/v1/evaluate", req, &job); code != http.StatusAccepted {
+		t.Fatalf("submit evaluate: status %d", code)
+	}
+	final := waitJob(t, ts.URL, job.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("evaluate: state %s, error %q", final.State, final.Error)
+	}
+	var res EvaluateResult
+	if err := json.Unmarshal(final.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(res.Results))
+	}
+	for i, r := range res.Results {
+		if r.SSIM < 0 || r.SSIM > 1 || r.Area <= 0 {
+			t.Errorf("result %d implausible: %+v", i, r)
+		}
+	}
+
+	// An equivalent repeated evaluation is served from the result cache —
+	// even when defaulted fields are spelled differently (kernels is
+	// irrelevant for sobel, images.seed 5 is explicit both times).
+	again0 := req
+	again0.Kernels = 3
+	var again JobInfo
+	if code := postJSON(t, ts.URL+"/v1/evaluate", again0, &again); code != http.StatusAccepted {
+		t.Fatalf("resubmit evaluate: status %d", code)
+	}
+	rerun := waitJob(t, ts.URL, again.ID)
+	if rerun.State != JobSucceeded {
+		t.Fatalf("repeat evaluate: state %s, error %q", rerun.State, rerun.Error)
+	}
+	if !rerun.Cached {
+		t.Errorf("identical repeated evaluation was recomputed")
+	}
+	if string(rerun.Result) != string(final.Result) {
+		t.Errorf("cached evaluation differs from the original")
+	}
+}
+
+// TestJobRetention checks terminal jobs are evicted beyond the cap while
+// the newest survive.
+func TestJobRetention(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1, JobRetention: 3})
+
+	var last JobInfo
+	for i := 0; i < 6; i++ {
+		var job JobInfo
+		if code := postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(1), &job); code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+		last = waitJob(t, ts.URL, job.ID)
+	}
+	if last.State != JobSucceeded {
+		t.Fatalf("last job: %s", last.State)
+	}
+	var list []JobInfo
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET jobs: status %d", code)
+	}
+	if len(list) != 3 {
+		t.Fatalf("retained %d jobs, want 3", len(list))
+	}
+	if list[len(list)-1].ID != last.ID {
+		t.Errorf("newest job %s evicted; retained %v", last.ID, list)
+	}
+	var e errorBody
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-000001", &e); code != http.StatusNotFound {
+		t.Errorf("evicted job still resolvable: status %d", code)
+	}
+}
+
+// TestRequestValidation checks the HTTP error envelope for malformed
+// submissions and unknown resources.
+func TestRequestValidation(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	var e errorBody
+	if code := postJSON(t, ts.URL+"/v1/pipelines",
+		PipelineRequest{App: "nonesuch", Library: tinyLibrary(1), Images: ImageSpec{Count: 1, Width: 32, Height: 24}},
+		&e); code != http.StatusBadRequest {
+		t.Errorf("unknown app: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/libraries",
+		LibraryRequest{Specs: []SpecRequest{{Op: "div4", Count: 3}}}, &e); code != http.StatusBadRequest {
+		t.Errorf("unknown op: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/libraries", LibraryRequest{}, &e); code != http.StatusBadRequest {
+		t.Errorf("empty specs: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{App: "sobel", Library: tinyLibrary(1), Configs: [][]int{{0, 0, 0, 0, 0}}},
+		&e); code != http.StatusBadRequest {
+		t.Errorf("zero image spec: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{App: "sobel", Library: tinyLibrary(1),
+			Images:  ImageSpec{Count: 1000, Width: 100000, Height: 100000},
+			Configs: [][]int{{0, 0, 0, 0, 0}}},
+		&e); code != http.StatusBadRequest {
+		t.Errorf("absurd image spec: status %d, want 400", code)
+	}
+	// Dimensions chosen so the pixel product overflows int64 to 0: the
+	// per-dimension bounds must reject before the budget check.
+	if code := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{App: "sobel", Library: tinyLibrary(1),
+			Images:  ImageSpec{Count: 1 << 32, Width: 1 << 32, Height: 1},
+			Configs: [][]int{{0, 0, 0, 0, 0}}},
+		&e); code != http.StatusBadRequest {
+		t.Errorf("overflowing image spec: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/libraries",
+		LibraryRequest{Specs: []SpecRequest{{Op: "add8", Count: 1 << 30}}}, &e); code != http.StatusBadRequest {
+		t.Errorf("absurd circuit count: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/pipelines",
+		PipelineRequest{App: "genericgf", Kernels: 1 << 30, Library: tinyLibrary(1),
+			Images: ImageSpec{Count: 1, Width: 32, Height: 24}},
+		&e); code != http.StatusBadRequest {
+		t.Errorf("absurd kernel count: status %d, want 400", code)
+	}
+	if code := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{App: "sobel", Library: tinyLibrary(1),
+			Images:  ImageSpec{Count: 2, Width: 32, Height: 24},
+			Configs: make([][]int, maxEvalConfigs+1)},
+		&e); code != http.StatusBadRequest {
+		t.Errorf("oversized config batch: status %d, want 400", code)
+	}
+	// Leading whitespace is skipped by the JSON decoder, so the reader
+	// must cross the byte cap before any parse error can occur.
+	huge := append(bytes.Repeat([]byte(" "), maxBodyBytes+1), []byte("{}")...)
+	resp, err := http.Post(ts.URL+"/v1/libraries", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatalf("oversized POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/v1/jobs/job-999999", &e); code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/libraries/deadbeef", &e); code != http.StatusNotFound {
+		t.Errorf("unknown library key: status %d, want 404", code)
+	}
+	var health map[string]string
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
+		t.Errorf("healthz: status %d body %v", code, health)
+	}
+}
+
+// TestSubmitDuringShutdown checks that a submission racing Server.Close
+// gets 503 (retry) rather than 400 (invalid), and leaves no phantom job.
+func TestSubmitDuringShutdown(t *testing.T) {
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Close()
+
+	var e errorBody
+	if code := postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(1), &e); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after close: status %d, want 503", code)
+	}
+	var list []JobInfo
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET jobs: status %d", code)
+	}
+	for _, j := range list {
+		if !j.State.Terminal() {
+			t.Errorf("phantom non-terminal job after rejected submit: %+v", j)
+		}
+	}
+}
+
+// TestLibraryRoundTrip builds a tiny library through the API, fetches the
+// serialized artifact by key, round-trips it through Library.SaveFile /
+// acl.LoadFile, and checks circuit counts and WMED scoring survive.
+func TestLibraryRoundTrip(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	var job JobInfo
+	if code := postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(7), &job); code != http.StatusAccepted {
+		t.Fatalf("submit library: status %d", code)
+	}
+	final := waitJob(t, ts.URL, job.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("build: state %s, error %q", final.State, final.Error)
+	}
+	var built LibraryResult
+	if err := json.Unmarshal(final.Result, &built); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if built.Size == 0 || built.Key == "" {
+		t.Fatalf("implausible build result: %+v", built)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/libraries/" + built.Key)
+	if err != nil {
+		t.Fatalf("GET library: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET library: status %d", resp.StatusCode)
+	}
+	fetched, err := acl.Load(resp.Body)
+	if err != nil {
+		t.Fatalf("load fetched library: %v", err)
+	}
+	if fetched.Size() != built.Size {
+		t.Fatalf("fetched library has %d circuits, job reported %d", fetched.Size(), built.Size)
+	}
+	for op, want := range built.Ops {
+		if got := len(fetched.Circuits[op]); got != want {
+			t.Errorf("op %s: fetched %d circuits, job reported %d", op, got, want)
+		}
+	}
+
+	// Round-trip the artifact through file persistence.
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := fetched.SaveFile(path); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	reloaded, err := acl.LoadFile(path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if reloaded.Size() != fetched.Size() {
+		t.Fatalf("reload lost circuits: %d vs %d", reloaded.Size(), fetched.Size())
+	}
+
+	// WMED is derived from the netlist at pre-processing time; scoring the
+	// fetched and reloaded copies under the same distribution must agree
+	// exactly, proving the behaviours (not just the metadata) survived.
+	for _, op := range fetched.Ops() {
+		a, b := fetched.For(op), reloaded.For(op)
+		if len(a) != len(b) {
+			t.Fatalf("op %s: %d vs %d circuits after reload", op, len(a), len(b))
+		}
+		wa, wb := op.InWidths()
+		d := pmf.Uniform(wa, wb)
+		acl.ScoreWMED(a, d)
+		acl.ScoreWMED(b, d)
+		for i := range a {
+			if a[i].Name != b[i].Name {
+				t.Fatalf("op %s circuit %d: name %q vs %q", op, i, a[i].Name, b[i].Name)
+			}
+			if a[i].WMED != b[i].WMED {
+				t.Errorf("op %s circuit %s: WMED %v vs %v after reload", op, a[i].Name, a[i].WMED, b[i].WMED)
+			}
+		}
+	}
+}
+
+// TestPipelineResultCache checks that a repeated identical pipeline request
+// is served from the content-addressed result cache.
+func TestPipelineResultCache(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	var a JobInfo
+	if code := postJSON(t, ts.URL+"/v1/pipelines", tinyPipeline(4), &a); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	ra := waitJob(t, ts.URL, a.ID)
+	if ra.State != JobSucceeded {
+		t.Fatalf("first run: %s (%s)", ra.State, ra.Error)
+	}
+	var b JobInfo
+	if code := postJSON(t, ts.URL+"/v1/pipelines", tinyPipeline(4), &b); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	rb := waitJob(t, ts.URL, b.ID)
+	if rb.State != JobSucceeded {
+		t.Fatalf("second run: %s (%s)", rb.State, rb.Error)
+	}
+	if !rb.Cached {
+		t.Fatalf("identical pipeline request was recomputed")
+	}
+	if string(ra.Result) != string(rb.Result) {
+		t.Errorf("cached pipeline result differs from the original")
+	}
+	// A repeat should be orders of magnitude faster than the original run.
+	if orig, hit := ra.Ended.Sub(ra.Started), rb.Ended.Sub(rb.Started); hit > orig {
+		t.Errorf("cache hit (%v) slower than original run (%v)", hit, orig)
+	}
+}
+
+// TestDiskCachePersistence checks that a second server instance over the
+// same cache directory serves a previously built library without
+// recomputation.
+func TestDiskCachePersistence(t *testing.T) {
+	dir := t.TempDir()
+
+	s1, ts1 := testServer(t, Options{Workers: 1, CacheDir: dir})
+	var job JobInfo
+	if code := postJSON(t, ts1.URL+"/v1/libraries", tinyLibrary(2), &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	r1 := waitJob(t, ts1.URL, job.ID)
+	if r1.State != JobSucceeded || r1.Cached {
+		t.Fatalf("first build: state %s cached %v", r1.State, r1.Cached)
+	}
+	_ = s1
+
+	s2, ts2 := testServer(t, Options{Workers: 1, CacheDir: dir})
+	if code := postJSON(t, ts2.URL+"/v1/libraries", tinyLibrary(2), &job); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	r2 := waitJob(t, ts2.URL, job.ID)
+	if r2.State != JobSucceeded {
+		t.Fatalf("second build: state %s error %q", r2.State, r2.Error)
+	}
+	if !r2.Cached {
+		t.Fatalf("fresh server over a warm cache dir recomputed the library")
+	}
+	if st := s2.CacheStats(); st.Hits < 1 {
+		t.Errorf("second server saw no cache hits: %+v", st)
+	}
+}
+
+// TestCorruptCacheSelfHeals checks that a corrupt on-disk artifact is
+// dropped and rebuilt instead of failing every future request for its key.
+func TestCorruptCacheSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := testServer(t, Options{Workers: 1, CacheDir: dir})
+
+	key, err := tinyLibrary(5).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "library-"+key+".json"), []byte("{corrupt"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var job JobInfo
+	if code := postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(5), &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	final := waitJob(t, ts.URL, job.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("build over corrupt cache: state %s, error %q", final.State, final.Error)
+	}
+	if final.Cached {
+		t.Fatalf("corrupt artifact was served as a cache hit")
+	}
+	// The healed artifact now serves hits.
+	if code := postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(5), &job); code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	if again := waitJob(t, ts.URL, job.ID); again.State != JobSucceeded || !again.Cached {
+		t.Fatalf("healed key not cached: state %s cached %v", again.State, again.Cached)
+	}
+}
+
+// TestJobList checks the jobs index endpoint.
+func TestJobList(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	var job JobInfo
+	postJSON(t, ts.URL+"/v1/libraries", tinyLibrary(1), &job)
+	waitJob(t, ts.URL, job.ID)
+	var list []JobInfo
+	if code := getJSON(t, ts.URL+"/v1/jobs", &list); code != http.StatusOK {
+		t.Fatalf("GET jobs: status %d", code)
+	}
+	if len(list) != 1 || list[0].ID != job.ID {
+		t.Fatalf("job list %v does not contain %s", list, job.ID)
+	}
+}

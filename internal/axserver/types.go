@@ -1,0 +1,228 @@
+package axserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"autoax/internal/acl"
+)
+
+// SpecRequest asks for count candidate circuits of one operation instance,
+// named in the paper's opN form ("add8", "sub10", "mul8").
+type SpecRequest struct {
+	Op    string `json:"op"`
+	Count int    `json:"count"`
+}
+
+// LibraryRequest describes one content-addressed library build: the specs,
+// the generation seed, and the characterization knobs (zero values take the
+// acl defaults).  Identical requests hash to identical keys and are served
+// from the cache.
+type LibraryRequest struct {
+	Specs []SpecRequest `json:"specs"`
+	Seed  int64         `json:"seed"`
+	// Characterization options (see acl.Options); zero = default.
+	ExhaustiveBits  int `json:"exhaustiveBits,omitempty"`
+	Samples         int `json:"samples,omitempty"`
+	ActivityBatches int `json:"activityBatches,omitempty"`
+}
+
+// maxLibraryCircuits caps the total circuits one build may request —
+// several times the paper's largest library (Table 2, ~39k), small enough
+// that a single request cannot exhaust the server.
+const maxLibraryCircuits = 200000
+
+// buildInputs converts the wire request into the acl build inputs.
+func (r LibraryRequest) buildInputs() ([]acl.BuildSpec, int64, acl.Options, error) {
+	if len(r.Specs) == 0 {
+		return nil, 0, acl.Options{}, fmt.Errorf("library request needs at least one spec")
+	}
+	specs := make([]acl.BuildSpec, len(r.Specs))
+	total := 0
+	for i, s := range r.Specs {
+		op, err := acl.ParseOp(s.Op)
+		if err != nil {
+			return nil, 0, acl.Options{}, err
+		}
+		if s.Count <= 0 {
+			return nil, 0, acl.Options{}, fmt.Errorf("spec %s: count must be positive, got %d", s.Op, s.Count)
+		}
+		total += s.Count
+		if total > maxLibraryCircuits {
+			return nil, 0, acl.Options{}, fmt.Errorf("library request exceeds %d total circuits", maxLibraryCircuits)
+		}
+		specs[i] = acl.BuildSpec{Op: op, Count: s.Count}
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	opts := acl.Options{
+		ExhaustiveBits:  r.ExhaustiveBits,
+		Samples:         r.Samples,
+		ActivityBatches: r.ActivityBatches,
+		Seed:            seed,
+	}
+	return specs, seed, opts, nil
+}
+
+// Key returns the content-addressed identity of the build this request
+// describes (the {key} accepted by GET /v1/libraries/{key}).
+func (r LibraryRequest) Key() (string, error) {
+	specs, seed, opts, err := r.buildInputs()
+	if err != nil {
+		return "", err
+	}
+	return acl.CanonicalKey(specs, seed, opts), nil
+}
+
+// LibraryResult is the result payload of a library-build job.  The library
+// itself is fetched separately by key (GET /v1/libraries/{key}) so job
+// polling stays cheap.
+type LibraryResult struct {
+	// Key addresses the built artifact in the cache.
+	Key string `json:"key"`
+	// Size is the total circuit count after deduplication.
+	Size int `json:"size"`
+	// Ops maps each operation instance to its circuit count.
+	Ops map[string]int `json:"ops"`
+}
+
+// ImageSpec describes a deterministic synthetic benchmark image set.
+type ImageSpec struct {
+	Count  int   `json:"count"`
+	Width  int   `json:"width"`
+	Height int   `json:"height"`
+	Seed   int64 `json:"seed"`
+}
+
+// normalized applies the defaulting the execution path uses, so content
+// hashes of equivalent specs agree.
+func (s ImageSpec) normalized() ImageSpec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// EvaluateRequest asks for precise (simulation + synthesis) evaluation of
+// explicit configurations of one case-study accelerator.  Configuration
+// indices select circuits from the library's per-operation lists in their
+// stored (area-sorted) order, one index per operation node of the app.
+type EvaluateRequest struct {
+	App     string         `json:"app"`               // sobel | fixedgf | genericgf
+	Kernels int            `json:"kernels,omitempty"` // genericgf coefficient sets (default 2)
+	Library LibraryRequest `json:"library"`
+	Images  ImageSpec      `json:"images"`
+	Configs [][]int        `json:"configs"`
+}
+
+// EvalResult is the precise evaluation of one configuration.
+type EvalResult struct {
+	SSIM   float64 `json:"ssim"`
+	Area   float64 `json:"area"`   // µm²
+	Delay  float64 `json:"delay"`  // ns
+	Power  float64 `json:"power"`  // µW
+	Energy float64 `json:"energy"` // fJ per output pixel
+	Gates  int     `json:"gates"`
+}
+
+// EvaluateResult is the result payload of an evaluate job.
+type EvaluateResult struct {
+	LibraryKey string       `json:"libraryKey"`
+	Results    []EvalResult `json:"results"`
+}
+
+// PipelineRequest asks for one full methodology run (Steps 1–3) of the
+// autoAx flow on a case-study accelerator.  Zero budget fields take the
+// core defaults.
+type PipelineRequest struct {
+	App     string         `json:"app"`
+	Kernels int            `json:"kernels,omitempty"`
+	Library LibraryRequest `json:"library"`
+	Images  ImageSpec      `json:"images"`
+
+	TrainConfigs int    `json:"trainConfigs,omitempty"`
+	TestConfigs  int    `json:"testConfigs,omitempty"`
+	SearchEvals  int    `json:"searchEvals,omitempty"`
+	Stagnation   int    `json:"stagnation,omitempty"`
+	Engine       string `json:"engine,omitempty"` // ml engine name; empty = default
+	AutoEngine   bool   `json:"autoEngine,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+}
+
+// FrontEntry is one configuration of the final Pareto front with its
+// precise results.
+type FrontEntry struct {
+	Config []int   `json:"config"`
+	SSIM   float64 `json:"ssim"`
+	Area   float64 `json:"area"`
+	Energy float64 `json:"energy"`
+}
+
+// PipelineResult is the result payload of a pipeline job.
+type PipelineResult struct {
+	LibraryKey   string       `json:"libraryKey"`
+	SpaceConfigs float64      `json:"spaceConfigs"` // reduced-space size
+	QoRFidelity  float64      `json:"qorFidelity"`
+	HWFidelity   float64      `json:"hwFidelity"`
+	Engine       string       `json:"engine"`
+	Front        []FrontEntry `json:"front"`
+}
+
+// JobState is the lifecycle state of an asynchronous job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobSucceeded JobState = "succeeded"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCancelled
+}
+
+// JobInfo is the wire representation of a job returned by the jobs
+// endpoints.
+type JobInfo struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"` // library | evaluate | pipeline
+	State   JobState  `json:"state"`
+	Created time.Time `json:"created"`
+	Started time.Time `json:"started,omitzero"`
+	Ended   time.Time `json:"ended,omitzero"`
+	// Cached marks a job whose result was served from the content-
+	// addressed cache without recomputation.
+	Cached bool   `json:"cached,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Result is the kind-specific payload (LibraryResult, EvaluateResult
+	// or PipelineResult), present once State is "succeeded".
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// CacheStats reports content-addressed cache effectiveness.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// Stats is the payload of GET /v1/stats.
+type Stats struct {
+	Workers   int              `json:"workers"`
+	QueueLen  int              `json:"queueLen"`
+	Jobs      map[JobState]int `json:"jobs"`
+	Cache     CacheStats       `json:"cache"`
+	UptimeSec float64          `json:"uptimeSec"`
+}
+
+// errorBody is the JSON error envelope every non-2xx response carries.
+type errorBody struct {
+	Error string `json:"error"`
+}

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"autoax/internal/accel"
@@ -115,11 +116,20 @@ func NewPipeline(app *accel.ImageApp, lib *acl.Library, images []*imagedata.Imag
 }
 
 // Reduce performs Step 1: profiling and per-operation library reduction.
-func (p *Pipeline) Reduce() error {
+func (p *Pipeline) Reduce() error { return p.ReduceContext(context.Background()) }
+
+// ReduceContext is Reduce with cancellation, checked between operations.
+func (p *Pipeline) ReduceContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	p.PMFs = p.App.Profile(p.Images)
 	ops := p.App.Graph.OpNodes()
 	p.Space = make(dse.Space, len(ops))
 	for i, id := range ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		op := p.App.Graph.Nodes[id].Op
 		// Score/filter a private copy: two nodes of the same op type have
 		// different PMFs and must not share WMED fields.
@@ -137,39 +147,51 @@ func (p *Pipeline) Reduce() error {
 // GenerateSamples performs the data-collection half of Step 2: random
 // configurations evaluated precisely for training and testing.
 func (p *Pipeline) GenerateSamples() error {
+	return p.GenerateSamplesContext(context.Background())
+}
+
+// GenerateSamplesContext is GenerateSamples with cancellation, checked
+// before every precise configuration evaluation.
+func (p *Pipeline) GenerateSamplesContext(ctx context.Context) error {
 	if p.Space == nil {
-		if err := p.Reduce(); err != nil {
+		if err := p.ReduceContext(ctx); err != nil {
 			return err
 		}
 	}
 	var err error
 	p.TrainCfgs = p.Space.RandomConfigs(p.Opt.TrainConfigs, p.Opt.Seed+100)
-	p.TrainRes, err = dse.EvaluateAll(p.Ev, p.Space, p.TrainCfgs)
+	p.TrainRes, err = dse.EvaluateAllContext(ctx, p.Ev, p.Space, p.TrainCfgs)
 	if err != nil {
 		return err
 	}
 	p.TestCfgs = p.Space.RandomConfigs(p.Opt.TestConfigs, p.Opt.Seed+200)
-	p.TestRes, err = dse.EvaluateAll(p.Ev, p.Space, p.TestCfgs)
+	p.TestRes, err = dse.EvaluateAllContext(ctx, p.Ev, p.Space, p.TestCfgs)
 	return err
 }
 
 // Train performs the learning half of Step 2 with the configured engine
 // (or, with AutoEngine, the engine winning a validation-fidelity bake-off)
 // and records test fidelities.
-func (p *Pipeline) Train() error {
+func (p *Pipeline) Train() error { return p.TrainContext(context.Background()) }
+
+// TrainContext is Train with cancellation, checked between engine fits.
+func (p *Pipeline) TrainContext(ctx context.Context) error {
 	if p.TrainRes == nil {
-		if err := p.GenerateSamples(); err != nil {
+		if err := p.GenerateSamplesContext(ctx); err != nil {
 			return err
 		}
 	}
 	engine := p.Opt.Engine
 	if p.Opt.AutoEngine {
 		var err error
-		engine, err = p.selectEngine()
+		engine, err = p.selectEngine(ctx)
 		if err != nil {
 			return err
 		}
 		p.Opt.Engine = engine
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	m, err := dse.TrainModels(engine, p.Opt.Seed, p.Space, p.TrainCfgs, p.TrainRes)
 	if err != nil {
@@ -184,7 +206,7 @@ func (p *Pipeline) Train() error {
 
 // selectEngine runs the engine bake-off on a 70/30 split of the training
 // samples and returns the engine with the best mean validation fidelity.
-func (p *Pipeline) selectEngine() (ml.EngineSpec, error) {
+func (p *Pipeline) selectEngine(ctx context.Context) (ml.EngineSpec, error) {
 	cut := len(p.TrainCfgs) * 7 / 10
 	if cut < 2 || len(p.TrainCfgs)-cut < 2 {
 		return p.Opt.Engine, fmt.Errorf("core: too few samples (%d) for engine selection", len(p.TrainCfgs))
@@ -195,6 +217,9 @@ func (p *Pipeline) selectEngine() (ml.EngineSpec, error) {
 	best := ml.EngineSpec{}
 	bestScore := -1.0
 	for _, spec := range ml.Engines() {
+		if err := ctx.Err(); err != nil {
+			return p.Opt.Engine, err
+		}
 		m, err := dse.TrainModels(spec, p.Opt.Seed, p.Space, fitCfgs, fitRes)
 		if err != nil {
 			continue // an engine failing to fit simply loses the bake-off
@@ -212,26 +237,38 @@ func (p *Pipeline) selectEngine() (ml.EngineSpec, error) {
 
 // Explore performs the first half of Step 3: Algorithm 1 over the model
 // estimates, producing the pseudo Pareto set.
-func (p *Pipeline) Explore() error {
+func (p *Pipeline) Explore() error { return p.ExploreContext(context.Background()) }
+
+// ExploreContext is Explore with cancellation, checked periodically inside
+// the hill climb.
+func (p *Pipeline) ExploreContext(ctx context.Context) error {
 	if p.Models == nil {
-		if err := p.Train(); err != nil {
+		if err := p.TrainContext(ctx); err != nil {
 			return err
 		}
 	}
-	p.Pseudo = dse.HillClimb(p.Space, p.Models.Estimator(), dse.SearchOptions{
+	pseudo, err := dse.HillClimbContext(ctx, p.Space, p.Models.Estimator(), dse.SearchOptions{
 		Evaluations: p.Opt.SearchEvals,
 		Stagnation:  p.Opt.Stagnation,
 		Seed:        p.Opt.Seed + 300,
 	})
+	if err != nil {
+		return err
+	}
+	p.Pseudo = pseudo
 	return nil
 }
 
 // Finalize performs the second half of Step 3: precise re-evaluation of
 // the pseudo Pareto configurations and construction of the final Pareto
 // front over real (SSIM, area, energy).
-func (p *Pipeline) Finalize() error {
+func (p *Pipeline) Finalize() error { return p.FinalizeContext(context.Background()) }
+
+// FinalizeContext is Finalize with cancellation, checked before every
+// precise re-evaluation.
+func (p *Pipeline) FinalizeContext(ctx context.Context) error {
 	if p.Pseudo == nil {
-		if err := p.Explore(); err != nil {
+		if err := p.ExploreContext(ctx); err != nil {
 			return err
 		}
 	}
@@ -261,7 +298,7 @@ func (p *Pipeline) Finalize() error {
 	}
 	p.FinalCfgs = cfgs
 	var err error
-	p.FinalRes, err = dse.EvaluateAll(p.Ev, p.Space, cfgs)
+	p.FinalRes, err = dse.EvaluateAllContext(ctx, p.Ev, p.Space, cfgs)
 	if err != nil {
 		return err
 	}
@@ -275,6 +312,12 @@ func (p *Pipeline) Finalize() error {
 
 // Run executes all stages in order.
 func (p *Pipeline) Run() error { return p.Finalize() }
+
+// RunContext executes all stages in order under a context: cancelling the
+// context aborts the run at the next stage boundary or mid-stage checkpoint
+// (between precise evaluations, engine fits, or hill-climb strides) and
+// returns the context's error.
+func (p *Pipeline) RunContext(ctx context.Context) error { return p.FinalizeContext(ctx) }
 
 // FrontResults returns the final-front configurations with their precise
 // results, ordered as discovered.

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -37,6 +38,19 @@ func point(qor, hw float64) pareto.Point { return pareto.Point{-qor, hw} }
 // archive after Stagnation consecutive rejections.  The returned archive
 // is the pseudo Pareto set of configurations under the estimators.
 func HillClimb(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]int] {
+	a, _ := HillClimbContext(context.Background(), s, est, opt)
+	return a
+}
+
+// ctxCheckStride is how many estimator evaluations HillClimbContext runs
+// between context checks — cheap relative to an estimator call yet frequent
+// enough that cancellation lands within microseconds.
+const ctxCheckStride = 1024
+
+// HillClimbContext is HillClimb with cancellation: the context is checked
+// every ctxCheckStride estimator evaluations, so a cancelled job abandons
+// the climb mid-search instead of draining the whole evaluation budget.
+func HillClimbContext(ctx context.Context, s Space, est Estimator, opt SearchOptions) (*pareto.Archive[[]int], error) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	archive := &pareto.Archive[[]int]{}
@@ -46,6 +60,11 @@ func HillClimb(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]int]
 	archive.Insert(point(q, h), parent)
 	stagnant, restarts := 0, 0
 	for evals := 1; evals < opt.Evaluations; evals++ {
+		if evals%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return archive, err
+			}
+		}
 		c := s.Neighbor(parent, rng)
 		q, h := est(c)
 		if archive.Insert(point(q, h), c) {
@@ -70,7 +89,7 @@ func HillClimb(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]int]
 			}
 		}
 	}
-	return archive
+	return archive, nil
 }
 
 // RandomSearch is the paper's RS baseline: uniform random configurations

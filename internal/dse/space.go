@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -116,8 +117,18 @@ func (s Space) HWFeatures(cfg []int) []float64 {
 // EvaluateAll precisely evaluates every configuration (simulation +
 // synthesis) via the accel evaluator.
 func EvaluateAll(ev *accel.Evaluator, s Space, cfgs [][]int) ([]accel.Result, error) {
+	return EvaluateAllContext(context.Background(), ev, s, cfgs)
+}
+
+// EvaluateAllContext is EvaluateAll with cancellation: the context is
+// checked before every configuration, so a cancelled job stops within one
+// precise evaluation rather than finishing the whole batch.
+func EvaluateAllContext(ctx context.Context, ev *accel.Evaluator, s Space, cfgs [][]int) ([]accel.Result, error) {
 	out := make([]accel.Result, len(cfgs))
 	for i, cfg := range cfgs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		r, err := ev.Evaluate(s.Circuits(cfg))
 		if err != nil {
 			return nil, fmt.Errorf("dse: evaluating configuration %d: %w", i, err)
