@@ -13,6 +13,7 @@ package autoax_test
 // the process, so a full -bench=. run shares the expensive work.
 
 import (
+	"context"
 	"io"
 	"os"
 	"testing"
@@ -151,6 +152,45 @@ func BenchmarkPreciseEvaluation(b *testing.B) {
 		}
 	}
 }
+
+// benchEvaluateAll measures a Step-2-style precise-evaluation batch of 16
+// Sobel configurations through dse.EvaluateAllParallel at the given shard
+// count (1 = the sequential path).
+func benchEvaluateAll(b *testing.B, parallelism int) {
+	lib, err := autoax.BuildLibrary([]autoax.LibrarySpec{
+		{Op: autoax.OpAdd(8), Count: 12},
+		{Op: autoax.OpAdd(9), Count: 12},
+		{Op: autoax.OpSub(10), Count: 10},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := apps.Sobel()
+	ev, err := accel.NewEvaluator(app, imagedata.BenchmarkSet(2, 64, 48, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := app.Graph.OpNodes()
+	space := make(dse.Space, len(ops))
+	for i, id := range ops {
+		space[i] = lib.For(app.Graph.Nodes[id].Op)
+	}
+	cfgs := space.RandomConfigs(16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.EvaluateAllParallel(context.Background(), ev, space, cfgs, parallelism); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateAllSequential is the single-evaluator baseline for the
+// batch the sharded path is measured against.
+func BenchmarkEvaluateAllSequential(b *testing.B) { benchEvaluateAll(b, 1) }
+
+// BenchmarkEvaluateAllSharded4 fans the same batch out over 4 per-worker
+// evaluator shards (the paper's dominant wall-clock cost, parallelized).
+func BenchmarkEvaluateAllSharded4(b *testing.B) { benchEvaluateAll(b, 4) }
 
 // BenchmarkModelEstimate measures one model-based configuration estimate —
 // the paper's "0.01 s per configuration" counterpart (random forest, both

@@ -25,6 +25,8 @@
 //	-seed N                   master random seed (default 1)
 //	-out DIR                  CSV output directory (default results)
 //	-lib FILE                 library JSON path for the library command
+//	-parallel N               precise-evaluation workers (default 0 = all
+//	                          cores; results are identical at any setting)
 package main
 
 import (
@@ -53,6 +55,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	out := flag.String("out", "results", "CSV output directory (empty to disable)")
 	libPath := flag.String("lib", "library.json", "library file for the library command")
+	parallel := flag.Int("parallel", 0, "precise-evaluation workers (0 = all cores, 1 = sequential; results are identical)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -60,11 +63,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *parallel < 0 {
+		fatal(fmt.Errorf("-parallel must be non-negative, got %d", *parallel))
+	}
 	sc, err := expt.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
 	}
-	s := expt.Setup{Scale: sc, Seed: *seed, OutDir: *out}
+	s := expt.Setup{Scale: sc, Seed: *seed, OutDir: *out, Parallelism: *parallel}
 	w := os.Stdout
 
 	start := time.Now()
@@ -138,11 +144,12 @@ func runServe(args []string) error {
 	addr := fs.String("addr", ":8080", "listen address")
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "directory for the content-addressed artifact cache (empty = memory only)")
+	evalParallel := fs.Int("eval-parallel", 0, "default per-job precise-evaluation workers for requests that leave parallelism unset (0 = divide cores across the worker pool)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv, err := axserver.New(axserver.Options{Workers: *workers, CacheDir: *cacheDir})
+	srv, err := axserver.New(axserver.Options{Workers: *workers, CacheDir: *cacheDir, EvalParallelism: *evalParallel})
 	if err != nil {
 		return err
 	}
@@ -261,7 +268,7 @@ commands:
   pipeline <sobel|fixedgf|genericgf>    run the methodology on one app
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
-  serve [-addr :8080] [-workers N] [-cache-dir DIR]
+  serve [-addr :8080] [-workers N] [-cache-dir DIR] [-eval-parallel N]
                                         run the asynchronous HTTP job service
   version                               print the version
 

@@ -1,7 +1,9 @@
 package accel
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"autoax/internal/acl"
@@ -207,5 +209,75 @@ func TestOpCounts(t *testing.T) {
 	counts := app.Graph.OpCounts()
 	if counts[acl.Op{Kind: acl.Add, Width: 8}] != 1 || len(counts) != 1 {
 		t.Errorf("counts = %v", counts)
+	}
+}
+
+// TestEvaluatorCloneConcurrentMatchesSequential checks the Clone contract:
+// clones share the immutable precomputed state but own their scratch, so
+// concurrent evaluation on clones reproduces exactly what the original
+// produces sequentially.  Run under -race this also proves the shared
+// state is never written after construction.
+func TestEvaluatorCloneConcurrentMatchesSequential(t *testing.T) {
+	app := tinyApp()
+	images := imagedata.BenchmarkSet(2, 24, 16, 1)
+	ev, err := NewEvaluator(app, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactConfiguration(app.Graph, acl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := acl.Characterize(approxgen.TruncAdder(8, 5), acl.Op{Kind: acl.Add, Width: 8}, "trunc", acl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Configuration{exact, {tr}}
+	want := make([]Result, len(cfgs))
+	for i, c := range cfgs {
+		if want[i], err = ev.Evaluate(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		clone := ev.Clone()
+		if clone == ev {
+			t.Fatal("Clone returned the original evaluator")
+		}
+		wg.Add(1)
+		go func(clone *Evaluator) {
+			defer wg.Done()
+			for rep := 0; rep < 3; rep++ {
+				for i, c := range cfgs {
+					got, err := clone.Evaluate(c)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if got != want[i] {
+						errs <- fmt.Errorf("clone result %+v differs from sequential %+v", got, want[i])
+						return
+					}
+				}
+			}
+		}(clone)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// The original keeps working after (and alongside) its clones.
+	for i, c := range cfgs {
+		got, err := ev.Evaluate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want[i] {
+			t.Errorf("original evaluator drifted after cloning: %+v vs %+v", got, want[i])
+		}
 	}
 }

@@ -123,22 +123,37 @@ type Result struct {
 	Gates  int
 }
 
-// Evaluator performs precise (simulation + synthesis) evaluation of
-// configurations for one app over a fixed benchmark image set.  Exact
-// reference outputs and packed input bit-planes are computed once and
-// reused across configurations.  Not safe for concurrent use.
-type Evaluator struct {
-	App    *ImageApp
-	Images []*imagedata.Image
-
+// evalShared is the Evaluator state that is immutable once NewEvaluator
+// returns: the exact reference outputs and the packed input bit-planes.
+// Every Clone of an Evaluator shares one evalShared, which is what makes
+// clones cheap and concurrent evaluation safe — nothing here is ever
+// written after construction.
+type evalShared struct {
 	exact     [][]*imagedata.Image // [sim][image]
 	planes    [][][]uint64         // [image][batch][tapBitPlane]
 	laneCount [][]int              // [image][batch]
 	simPlanes [][]uint64           // [sim][extraBitPlane] broadcast words
 
 	headBits int // number of tap bit-planes
-	inBuf    []uint64
-	outVals  [64]uint64
+}
+
+// Evaluator performs precise (simulation + synthesis) evaluation of
+// configurations for one app over a fixed benchmark image set.  Exact
+// reference outputs and packed input bit-planes are computed once and
+// reused across configurations.
+//
+// One Evaluator is not safe for concurrent use (it owns mutable scratch
+// buffers), but Clone returns independent evaluators sharing the expensive
+// precomputed state, so N clones may Evaluate concurrently.
+type Evaluator struct {
+	App    *ImageApp
+	Images []*imagedata.Image
+
+	shared *evalShared
+
+	// Per-evaluator scratch, owned exclusively; never shared with clones.
+	inBuf   []uint64
+	outVals [64]uint64
 
 	// ActivityBatches bounds the batches used for switching-activity
 	// estimation when computing power/energy.
@@ -146,8 +161,20 @@ type Evaluator struct {
 
 	// Metric scores an approximate output image against the exact
 	// reference (higher = better).  Defaults to SSIM, the paper's QoR;
-	// ssim.PSNR is the drop-in alternative the paper mentions.
+	// ssim.PSNR is the drop-in alternative the paper mentions.  A custom
+	// Metric must be safe for concurrent use when clones evaluate in
+	// parallel (pure functions like SSIM and PSNR are).
 	Metric func(exact, approx *imagedata.Image) float64
+}
+
+// Clone returns an independent evaluator for concurrent use: it shares the
+// immutable app, images and precomputed state (exact references, packed
+// bit-planes) with the original but owns its own scratch buffers.  Clones
+// inherit the ActivityBatches and Metric settings at clone time.
+func (e *Evaluator) Clone() *Evaluator {
+	c := *e // shares c.shared; copies outVals (an array) and the knobs
+	c.inBuf = make([]uint64, len(e.inBuf))
+	return &c
 }
 
 // NewEvaluator validates the app and precomputes exact references and
@@ -164,34 +191,34 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 			return nil, fmt.Errorf("accel: image %dx%d smaller than the SSIM window", im.W, im.H)
 		}
 	}
-	e := &Evaluator{App: app, Images: images, ActivityBatches: 16, Metric: ssim.SSIM}
-	e.headBits = 8 * len(app.Taps)
+	sh := &evalShared{headBits: 8 * len(app.Taps)}
+	e := &Evaluator{App: app, Images: images, shared: sh, ActivityBatches: 16, Metric: ssim.SSIM}
 
 	// Exact references.
-	e.exact = make([][]*imagedata.Image, len(app.Sims))
+	sh.exact = make([][]*imagedata.Image, len(app.Sims))
 	for si, sim := range app.Sims {
-		e.exact[si] = make([]*imagedata.Image, len(images))
+		sh.exact[si] = make([]*imagedata.Image, len(images))
 		for ii, im := range images {
-			e.exact[si][ii] = app.ExactOutput(im, sim)
+			sh.exact[si][ii] = app.ExactOutput(im, sim)
 		}
 	}
 
 	// Window bit-planes per image, 64 pixels per batch, row-major.
 	vals := make([]uint64, 64)
-	e.planes = make([][][]uint64, len(images))
-	e.laneCount = make([][]int, len(images))
+	sh.planes = make([][][]uint64, len(images))
+	sh.laneCount = make([][]int, len(images))
 	for ii, im := range images {
 		total := im.W * im.H
 		nb := (total + 63) / 64
-		e.planes[ii] = make([][]uint64, nb)
-		e.laneCount[ii] = make([]int, nb)
+		sh.planes[ii] = make([][]uint64, nb)
+		sh.laneCount[ii] = make([]int, nb)
 		for b := 0; b < nb; b++ {
 			base := b * 64
 			lanes := total - base
 			if lanes > 64 {
 				lanes = 64
 			}
-			plane := make([]uint64, e.headBits)
+			plane := make([]uint64, sh.headBits)
 			for t, tap := range app.Taps {
 				for l := 0; l < lanes; l++ {
 					p := base + l
@@ -199,14 +226,14 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 				}
 				netlist.PackBits(vals[:lanes], 8, plane[8*t:8*t+8])
 			}
-			e.planes[ii][b] = plane
-			e.laneCount[ii][b] = lanes
+			sh.planes[ii][b] = plane
+			sh.laneCount[ii][b] = lanes
 		}
 	}
 
 	// Broadcast planes for the extra (per-simulation) inputs.
 	extraIDs := app.Graph.Inputs[len(app.Taps):]
-	e.simPlanes = make([][]uint64, len(app.Sims))
+	sh.simPlanes = make([][]uint64, len(app.Sims))
 	for si, sim := range app.Sims {
 		var plane []uint64
 		for xi, id := range extraIDs {
@@ -219,9 +246,9 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 				}
 			}
 		}
-		e.simPlanes[si] = plane
+		sh.simPlanes[si] = plane
 	}
-	totalIn := e.headBits + len(e.simPlanes[0])
+	totalIn := sh.headBits + len(sh.simPlanes[0])
 	e.inBuf = make([]uint64, totalIn)
 	return e, nil
 }
@@ -246,17 +273,18 @@ func (e *Evaluator) Evaluate(cfg Configuration) (Result, error) {
 	}
 	nev := netlist.NewEvaluator(simp)
 
+	sh := e.shared
 	var ssimTotal float64
 	var activity [][]uint64
 	var activityLanes []int
 	for si := range e.App.Sims {
-		copy(e.inBuf[e.headBits:], e.simPlanes[si])
+		copy(e.inBuf[sh.headBits:], sh.simPlanes[si])
 		for ii, im := range e.Images {
 			out := imagedata.New(im.W, im.H)
-			for b, plane := range e.planes[ii] {
-				copy(e.inBuf[:e.headBits], plane)
+			for b, plane := range sh.planes[ii] {
+				copy(e.inBuf[:sh.headBits], plane)
 				res := nev.Eval(e.inBuf)
-				lanes := e.laneCount[ii][b]
+				lanes := sh.laneCount[ii][b]
 				netlist.UnpackBits(res, lanes, e.outVals[:])
 				base := b * 64
 				for l := 0; l < lanes; l++ {
@@ -267,7 +295,7 @@ func (e *Evaluator) Evaluate(cfg Configuration) (Result, error) {
 					activityLanes = append(activityLanes, lanes)
 				}
 			}
-			ssimTotal += e.Metric(e.exact[si][ii], out)
+			ssimTotal += e.Metric(sh.exact[si][ii], out)
 		}
 	}
 	cost := simp.AnalyzeActivity(activity, activityLanes)

@@ -35,9 +35,20 @@ func NewCache(dir string) (*Cache, error) {
 	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
 }
 
-// path maps a namespaced key ("library/<hash>") to its on-disk file.
+// path maps a namespaced key ("library/<hash>") to its on-disk file.  The
+// encoding must be injective so distinct keys can never share a file: "-"
+// is escaped to "-_" before "/" is folded to "--" (a bare "/"→"-"
+// replacement would map "library/x" and "library-x" to the same path).
+//
+// Files written under the old ambiguous encoding are deliberately not
+// migrated: a collided file may hold either key's artifact, and adopting
+// it under the new name could resurrect the wrong content.  Old entries
+// simply miss (and may be deleted by the operator); the rebuild stores
+// them under the unambiguous name.
 func (c *Cache) path(key string) string {
-	return filepath.Join(c.dir, strings.ReplaceAll(key, "/", "-")+".json")
+	enc := strings.ReplaceAll(key, "-", "-_")
+	enc = strings.ReplaceAll(enc, "/", "--")
+	return filepath.Join(c.dir, enc+".json")
 }
 
 // Get returns the cached bytes for key.  A memory miss falls through to

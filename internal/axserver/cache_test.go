@@ -38,8 +38,9 @@ func TestCacheDisk(t *testing.T) {
 	if err := c1.Put("library/k", []byte(`{"v":1}`)); err != nil {
 		t.Fatal(err)
 	}
-	// The artifact is a real file with the namespace folded into the name.
-	if _, err := os.Stat(filepath.Join(dir, "library-k.json")); err != nil {
+	// The artifact is a real file with the namespace folded into the name
+	// via the injective "-"→"-_", "/"→"--" encoding.
+	if _, err := os.Stat(filepath.Join(dir, "library--k.json")); err != nil {
 		t.Fatalf("on-disk artifact missing: %v", err)
 	}
 	// A fresh instance over the same directory warms from disk.
@@ -94,5 +95,46 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Entries != 4 {
 		t.Fatalf("entries %d, want 4", st.Entries)
+	}
+}
+
+// TestCacheDiskKeyCollision is the regression test for the key-encoding
+// collision: a bare "/"→"-" replacement mapped "library/x" and "library-x"
+// to the same file, so one artifact silently overwrote the other.  The
+// injective encoding must keep every such pair distinct across restarts.
+func TestCacheDiskKeyCollision(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := map[string]string{
+		"library/x":   "slash",
+		"library-x":   "dash",
+		"library-/x":  "dash-slash",
+		"library/-x":  "slash-dash",
+		"library--x":  "double-dash",
+		"library-_-x": "dash-underscore",
+	}
+	for k, v := range pairs {
+		if err := c1.Put(k, []byte(v)); err != nil {
+			t.Fatalf("put %q: %v", k, err)
+		}
+	}
+	// A fresh instance reads purely from disk: every key must come back
+	// with its own value, proving no two keys shared a file.
+	c2, err := NewCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range pairs {
+		b, ok := c2.Get(k)
+		if !ok {
+			t.Errorf("key %q missing from disk", k)
+			continue
+		}
+		if string(b) != v {
+			t.Errorf("key %q returned %q, want %q — on-disk collision", k, b, v)
+		}
 	}
 }

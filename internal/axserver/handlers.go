@@ -124,6 +124,10 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleCancelJob cancels a job.  For a running job the 200 response only
+// acknowledges that cancellation was requested (CancelResponse.BestEffort):
+// a job that completes before observing the cancel at a checkpoint still
+// lands succeeded, so clients must poll the job for the actual outcome.
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	info, ok, cancellable := s.manager.Cancel(id)
@@ -135,7 +139,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 			Error: fmt.Sprintf("job %s is already %s", id, info.State),
 		})
 	default:
-		writeJSON(w, http.StatusOK, info)
+		writeJSON(w, http.StatusOK, CancelResponse{Job: info, BestEffort: info.State == JobRunning})
 	}
 }
 

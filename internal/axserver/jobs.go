@@ -148,6 +148,13 @@ func (m *Manager) Counts() map[JobState]int {
 // cancelled and the job transitions when its stage checkpoint observes the
 // cancellation.  Returns the post-cancel snapshot, whether the ID exists,
 // and whether the job was still cancellable.
+//
+// For running jobs, cancellable=true promises only delivery, not outcome:
+// the cancellation races the job's own completion, and a run that finishes
+// before its next checkpoint lands succeeded with its result intact.  This
+// is deliberate — the alternative (forcing such a job to cancelled) would
+// discard a fully computed artifact over a few-microsecond race.  Callers
+// needing the final state wait on Done and re-Get the job.
 func (m *Manager) Cancel(id string) (JobInfo, bool, bool) {
 	m.mu.Lock()
 	j, ok := m.jobs[id]

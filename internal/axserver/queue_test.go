@@ -199,3 +199,45 @@ func TestManagerStateMachine(t *testing.T) {
 		t.Fatalf("counts %v", counts)
 	}
 }
+
+// TestCancelRunningBestEffort pins the documented contract for cancelling
+// a running job: cancellable=true promises only that the cancellation was
+// delivered.  A run that completes without ever observing its context
+// lands succeeded with its result intact — the cancel lost the race by
+// design, rather than discarding a fully computed artifact.
+func TestCancelRunningBestEffort(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 1)
+	defer p.Close()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	j := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		close(started)
+		<-release                     // hold "running" until the cancel lands
+		return "artifact", false, nil // never checks ctx: completion wins
+	})
+	p.Submit(j)
+	<-started
+
+	info, ok, cancellable := m.Cancel(j.ID())
+	if !ok || !cancellable {
+		t.Fatalf("cancel running: ok=%v cancellable=%v", ok, cancellable)
+	}
+	if info.State != JobRunning {
+		t.Fatalf("snapshot state %s, want running", info.State)
+	}
+	close(release)
+	select {
+	case <-j.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never finished")
+	}
+	final, _ := m.Get(j.ID())
+	if final.State != JobSucceeded {
+		t.Fatalf("job landed %s, want succeeded: best-effort cancel must not discard a completed result", final.State)
+	}
+	if string(final.Result) != `"artifact"` {
+		t.Fatalf("completed result lost: %s", final.Result)
+	}
+}

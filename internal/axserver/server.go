@@ -42,6 +42,12 @@ type Options struct {
 	// JobRetention caps the terminal jobs kept in memory (0 means
 	// DefaultJobRetention); queued and running jobs are never evicted.
 	JobRetention int
+	// EvalParallelism is the default per-shard evaluator worker count for
+	// jobs whose request leaves Parallelism unset.  0 divides the cores
+	// across the worker pool (GOMAXPROCS/Workers, at least 1) so the
+	// default configuration cannot oversubscribe; set it explicitly to
+	// trade per-job latency against cross-job throughput.
+	EvalParallelism int
 }
 
 // Server owns the job manager, the worker pool and the artifact cache.
@@ -72,6 +78,9 @@ func New(opts Options) (*Server, error) {
 	}
 	if opts.JobRetention < 0 {
 		return nil, fmt.Errorf("axserver: job retention must be non-negative, got %d", opts.JobRetention)
+	}
+	if opts.EvalParallelism < 0 {
+		return nil, fmt.Errorf("axserver: eval parallelism must be non-negative, got %d", opts.EvalParallelism)
 	}
 	base, cancel := context.WithCancel(context.Background())
 	manager := NewManager()
@@ -162,6 +171,41 @@ func validateKernels(kernels int) error {
 		return fmt.Errorf("kernels %d exceeds the limit of %d", kernels, maxKernels)
 	}
 	return nil
+}
+
+// maxParallelism caps the per-job evaluator shards one request may demand
+// — far above any machine this serves on, small enough that a request
+// cannot ask for an absurd goroutine fan-out.
+const maxParallelism = 256
+
+// validateParallelism bounds the request knob (0 means server default).
+func validateParallelism(p int) error {
+	if p < 0 {
+		return fmt.Errorf("parallelism must be non-negative, got %d", p)
+	}
+	if p > maxParallelism {
+		return fmt.Errorf("parallelism %d exceeds the limit of %d", p, maxParallelism)
+	}
+	return nil
+}
+
+// evalParallelism resolves a request's Parallelism against the server
+// default: an explicit request value wins, then Options.EvalParallelism.
+// With both unset the cores are shared across the worker pool
+// (GOMAXPROCS/Workers, at least 1) so a fully loaded default-configured
+// server runs ~GOMAXPROCS evaluation goroutines total instead of
+// oversubscribing quadratically.
+func (s *Server) evalParallelism(req int) int {
+	if req > 0 {
+		return req
+	}
+	if s.opts.EvalParallelism > 0 {
+		return s.opts.EvalParallelism
+	}
+	if p := runtime.GOMAXPROCS(0) / s.opts.Workers; p > 1 {
+		return p
+	}
+	return 1
 }
 
 // normalized applies the execution path's defaulting so equivalent
@@ -366,6 +410,9 @@ func (s *Server) SubmitEvaluate(req EvaluateRequest) (JobInfo, error) {
 		return JobInfo{}, fmt.Errorf("evaluate request carries %d configurations, limit is %d per job",
 			len(req.Configs), maxEvalConfigs)
 	}
+	if err := validateParallelism(req.Parallelism); err != nil {
+		return JobInfo{}, err
+	}
 	return s.submit("evaluate", func(ctx context.Context) (any, bool, error) {
 		return s.runEvaluate(ctx, req)
 	})
@@ -431,7 +478,7 @@ func (s *Server) runEvaluate(ctx context.Context, req EvaluateRequest) (any, boo
 			}
 		}
 	}
-	res, err := dse.EvaluateAllContext(ctx, ev, space, req.Configs)
+	res, err := dse.EvaluateAllParallel(ctx, ev, space, req.Configs, s.evalParallelism(req.Parallelism))
 	if err != nil {
 		return nil, false, err
 	}
@@ -455,6 +502,7 @@ func pipelineKey(req PipelineRequest) (string, error) {
 	}
 	canon := req.normalized()
 	canon.Library = LibraryRequest{} // represented by its canonical key
+	canon.Parallelism = 0            // execution knob: same results at any setting
 	return requestKey(libKey, canon)
 }
 
@@ -466,6 +514,7 @@ func evaluateKey(req EvaluateRequest) (string, error) {
 	}
 	canon := req.normalized()
 	canon.Library = LibraryRequest{} // represented by its canonical key
+	canon.Parallelism = 0            // execution knob: same results at any setting
 	return requestKey(libKey, canon)
 }
 
@@ -483,6 +532,9 @@ func (s *Server) SubmitPipeline(req PipelineRequest) (JobInfo, error) {
 		}
 	}
 	if err := validateImages(req.Images); err != nil {
+		return JobInfo{}, err
+	}
+	if err := validateParallelism(req.Parallelism); err != nil {
 		return JobInfo{}, err
 	}
 	if _, err := pipelineKey(req); err != nil {
@@ -534,6 +586,7 @@ func (s *Server) runPipeline(ctx context.Context, req PipelineRequest) (any, boo
 		TestConfigs:  req.TestConfigs,
 		SearchEvals:  req.SearchEvals,
 		Stagnation:   req.Stagnation,
+		Parallelism:  s.evalParallelism(req.Parallelism),
 		Seed:         req.Seed,
 		AutoEngine:   req.AutoEngine,
 		Engine:       spec,

@@ -248,9 +248,19 @@ func TestCancelRunningJob(t *testing.T) {
 	if err != nil {
 		t.Fatalf("DELETE job: %v", err)
 	}
+	var ack CancelResponse
+	decErr := json.NewDecoder(resp.Body).Decode(&ack)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("DELETE job: status %d", resp.StatusCode)
+	}
+	if decErr != nil {
+		t.Fatalf("decode cancel response: %v", decErr)
+	}
+	// Cancelling a running job only promises delivery: the response flags
+	// the best-effort contract and still shows the pre-terminal state.
+	if !ack.BestEffort || ack.Job.State != JobRunning {
+		t.Fatalf("cancel ack %+v, want bestEffort=true on a running job", ack)
 	}
 
 	final := waitJob(t, ts.URL, job.ID)
@@ -388,9 +398,12 @@ func TestEvaluateEndpoint(t *testing.T) {
 
 	// An equivalent repeated evaluation is served from the result cache —
 	// even when defaulted fields are spelled differently (kernels is
-	// irrelevant for sobel, images.seed 5 is explicit both times).
+	// irrelevant for sobel, images.seed 5 is explicit both times) and the
+	// execution-only parallelism knob differs (results are identical at
+	// any setting, so it is excluded from the content key).
 	again0 := req
 	again0.Kernels = 3
+	again0.Parallelism = 2
 	var again JobInfo
 	if code := postJSON(t, ts.URL+"/v1/evaluate", again0, &again); code != http.StatusAccepted {
 		t.Fatalf("resubmit evaluate: status %d", code)

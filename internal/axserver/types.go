@@ -116,6 +116,12 @@ type EvaluateRequest struct {
 	Library LibraryRequest `json:"library"`
 	Images  ImageSpec      `json:"images"`
 	Configs [][]int        `json:"configs"`
+	// Parallelism bounds the per-shard evaluator workers used inside this
+	// job (0 = the server's default, itself defaulting to GOMAXPROCS; 1 =
+	// sequential).  An execution knob only: results are identical at every
+	// setting, so it does not participate in the content-addressed cache
+	// key.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // EvalResult is the precise evaluation of one configuration.
@@ -150,6 +156,11 @@ type PipelineRequest struct {
 	Engine       string `json:"engine,omitempty"` // ml engine name; empty = default
 	AutoEngine   bool   `json:"autoEngine,omitempty"`
 	Seed         int64  `json:"seed,omitempty"`
+	// Parallelism bounds the per-shard evaluator workers for the run's
+	// precise-evaluation batches (0 = server default, 1 = sequential).
+	// Execution knob only — excluded from the content-addressed cache key
+	// because results are identical at every setting.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // FrontEntry is one configuration of the final Pareto front with its
@@ -204,6 +215,21 @@ type JobInfo struct {
 	// Result is the kind-specific payload (LibraryResult, EvaluateResult
 	// or PipelineResult), present once State is "succeeded".
 	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// CancelResponse is the payload of a successful DELETE /v1/jobs/{id}.
+//
+// Cancellation of a running job is best-effort: the job's context is
+// cancelled, but a job that completes before observing the cancellation at
+// one of its checkpoints still lands in the succeeded state.  BestEffort
+// marks that case; poll the job until its state is terminal to learn the
+// actual outcome.  Queued jobs cancel deterministically (Job.State is
+// already "cancelled" in the response).
+type CancelResponse struct {
+	Job JobInfo `json:"job"`
+	// BestEffort is true when the job was already running, i.e. the
+	// cancellation races the job's own completion and may lose.
+	BestEffort bool `json:"bestEffort"`
 }
 
 // CacheStats reports content-addressed cache effectiveness.

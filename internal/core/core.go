@@ -52,6 +52,11 @@ type Config struct {
 	SearchEvals int
 	// Stagnation is the restart threshold of Algorithm 1 (paper: 50).
 	Stagnation int
+	// Parallelism bounds the per-shard evaluator workers used for the
+	// precise-evaluation batches (Step 2 sample generation and Step 3
+	// re-evaluation).  0 means runtime.GOMAXPROCS, 1 forces the
+	// sequential path; results are identical either way.
+	Parallelism int
 	// Seed drives every random choice.
 	Seed int64
 }
@@ -160,12 +165,12 @@ func (p *Pipeline) GenerateSamplesContext(ctx context.Context) error {
 	}
 	var err error
 	p.TrainCfgs = p.Space.RandomConfigs(p.Opt.TrainConfigs, p.Opt.Seed+100)
-	p.TrainRes, err = dse.EvaluateAllContext(ctx, p.Ev, p.Space, p.TrainCfgs)
+	p.TrainRes, err = dse.EvaluateAllParallel(ctx, p.Ev, p.Space, p.TrainCfgs, p.Opt.Parallelism)
 	if err != nil {
 		return err
 	}
 	p.TestCfgs = p.Space.RandomConfigs(p.Opt.TestConfigs, p.Opt.Seed+200)
-	p.TestRes, err = dse.EvaluateAllContext(ctx, p.Ev, p.Space, p.TestCfgs)
+	p.TestRes, err = dse.EvaluateAllParallel(ctx, p.Ev, p.Space, p.TestCfgs, p.Opt.Parallelism)
 	return err
 }
 
@@ -298,7 +303,7 @@ func (p *Pipeline) FinalizeContext(ctx context.Context) error {
 	}
 	p.FinalCfgs = cfgs
 	var err error
-	p.FinalRes, err = dse.EvaluateAllContext(ctx, p.Ev, p.Space, cfgs)
+	p.FinalRes, err = dse.EvaluateAllParallel(ctx, p.Ev, p.Space, cfgs, p.Opt.Parallelism)
 	if err != nil {
 		return err
 	}

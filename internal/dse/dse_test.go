@@ -1,11 +1,19 @@
 package dse
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"reflect"
+	"strings"
 	"testing"
 
+	"autoax/internal/accel"
 	"autoax/internal/acl"
+	"autoax/internal/apps"
+	"autoax/internal/imagedata"
 	"autoax/internal/pareto"
 )
 
@@ -210,5 +218,217 @@ func TestSortArchive(t *testing.T) {
 	}
 	if pts[2][0] != -0.5 {
 		t.Errorf("sort order wrong: %v", pts)
+	}
+}
+
+// TestExhaustivePayloadsNotAliased is the regression test for the odometer
+// aliasing bug: Exhaustive used to archive the live odometer slice, so
+// every archived payload ended up equal to the final odometer state.  Each
+// payload must be a distinct configuration that reproduces its archived
+// point under the estimator.
+func TestExhaustivePayloadsNotAliased(t *testing.T) {
+	s := syntheticSpace(3, 4)
+	est := syntheticEstimator(s)
+	arch, err := ExhaustiveParallel(s, est, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arch.Len() < 2 {
+		t.Fatalf("trade-off space produced a front of %d", arch.Len())
+	}
+	pts, cfgs := arch.Points(), arch.Payloads()
+	distinct := map[string]bool{}
+	for i, cfg := range cfgs {
+		distinct[fmt.Sprint(cfg)] = true
+		for k, idx := range cfg {
+			if idx < 0 || idx >= len(s[k]) {
+				t.Fatalf("payload %v holds an out-of-range index for op %d", cfg, k)
+			}
+		}
+		q, h := est(cfg)
+		if pts[i][0] != -q || pts[i][1] != h {
+			t.Errorf("payload %v does not reproduce its archived point %v", cfg, pts[i])
+		}
+	}
+	if len(distinct) != len(cfgs) {
+		t.Errorf("archived payloads alias each other: %d distinct of %d", len(distinct), len(cfgs))
+	}
+}
+
+// TestExhaustiveParallelMatchesSequential checks the sharded enumeration
+// is bit-identical to the sequential path: same points, same payloads,
+// same equal-point tie-breaks, at every shard count (including ones that
+// split the keyspace unevenly).
+func TestExhaustiveParallelMatchesSequential(t *testing.T) {
+	s := syntheticSpace(4, 5) // 625 configurations
+	est := syntheticEstimator(s)
+	seq, err := ExhaustiveParallel(s, est, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	archiveMap := func(a *pareto.Archive[[]int]) map[string]string {
+		m := make(map[string]string, a.Len())
+		pts, cfgs := a.Points(), a.Payloads()
+		for i := range pts {
+			m[fmt.Sprint(pts[i])] = fmt.Sprint(cfgs[i])
+		}
+		return m
+	}
+	want := archiveMap(seq)
+	for _, par := range []int{2, 3, 8, 0} {
+		got, err := ExhaustiveParallel(s, est, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != seq.Len() {
+			t.Fatalf("parallelism %d: archive size %d, sequential %d", par, got.Len(), seq.Len())
+		}
+		for pt, cfg := range archiveMap(got) {
+			if want[pt] != cfg {
+				t.Errorf("parallelism %d: point %s carries %s, sequential %s", par, pt, cfg, want[pt])
+			}
+		}
+	}
+}
+
+// TestNeighborResamplesSingleCircuitOps checks the GetNeighbour move never
+// wastes an estimator evaluation on an operation that cannot move: a draw
+// landing on a single-circuit library resamples among multi-circuit ops.
+func TestNeighborResamplesSingleCircuitOps(t *testing.T) {
+	single := []*acl.Circuit{{Name: "only", Op: acl.Op{Kind: acl.Add, Width: 8}}}
+	multi := syntheticSpace(1, 4)[0]
+	s := Space{single, single, multi, single}
+	cfg := []int{0, 0, 2, 0}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 200; i++ {
+		n := s.Neighbor(cfg, rng)
+		diff := 0
+		for k := range n {
+			if n[k] != cfg[k] {
+				diff++
+			}
+		}
+		if diff != 1 || n[2] == cfg[2] {
+			t.Fatalf("draw %d: neighbor %v of %v must move exactly op 2", i, n, cfg)
+		}
+	}
+	// With no movable operation at all the configuration is returned
+	// unchanged (and still as a fresh copy).
+	locked := Space{single, single}
+	base := []int{0, 0}
+	n := locked.Neighbor(base, rng)
+	if n[0] != 0 || n[1] != 0 {
+		t.Fatalf("fully locked space moved: %v", n)
+	}
+	n[0] = 9
+	if base[0] != 0 {
+		t.Error("Neighbor returned the input slice instead of a copy")
+	}
+}
+
+// realSobelFixture builds a real (tiny) evaluator and reduced-style space
+// for the Sobel detector, for exercising the precise-evaluation path.
+func realSobelFixture(t *testing.T) (*accel.Evaluator, Space) {
+	t.Helper()
+	lib, err := acl.Build([]acl.BuildSpec{
+		{Op: acl.Op{Kind: acl.Add, Width: 8}, Count: 12},
+		{Op: acl.Op{Kind: acl.Add, Width: 9}, Count: 12},
+		{Op: acl.Op{Kind: acl.Sub, Width: 10}, Count: 10},
+	}, 1, acl.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apps.Sobel()
+	ev, err := accel.NewEvaluator(app, imagedata.BenchmarkSet(2, 24, 16, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := app.Graph.OpNodes()
+	s := make(Space, len(ops))
+	for i, id := range ops {
+		s[i] = lib.For(app.Graph.Nodes[id].Op)
+		if len(s[i]) == 0 {
+			t.Fatalf("library has no circuits for op %d", i)
+		}
+	}
+	return ev, s
+}
+
+// TestEvaluateAllParallelMatchesSequential checks the acceptance criterion
+// of the sharded evaluator: per-shard clones produce results identical to
+// the sequential path, order-stable at their input indices.
+func TestEvaluateAllParallelMatchesSequential(t *testing.T) {
+	ev, s := realSobelFixture(t)
+	cfgs := s.RandomConfigs(12, 3)
+	seq, err := EvaluateAllParallel(context.Background(), ev, s, cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 0} {
+		got, err := EvaluateAllParallel(context.Background(), ev, s, cfgs, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, got) {
+			t.Fatalf("parallelism %d: results differ from sequential\nseq: %+v\ngot: %+v", par, seq, got)
+		}
+	}
+	// The plain entry points shard by default and must agree too.
+	def, err := EvaluateAll(ev, s, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, def) {
+		t.Fatal("EvaluateAll differs from the sequential path")
+	}
+}
+
+// TestEvaluateAllParallelCancellation checks both paths surface the bare
+// context error when the caller cancels.
+func TestEvaluateAllParallelCancellation(t *testing.T) {
+	ev, s := realSobelFixture(t)
+	cfgs := s.RandomConfigs(8, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, par := range []int{1, 4} {
+		if _, err := EvaluateAllParallel(ctx, ev, s, cfgs, par); !errors.Is(err, context.Canceled) {
+			t.Errorf("parallelism %d: err = %v, want context.Canceled", par, err)
+		}
+	}
+}
+
+// TestEvaluateAllParallelFirstError checks a failing configuration aborts
+// the batch with an error naming the failed index on both paths.
+func TestEvaluateAllParallelFirstError(t *testing.T) {
+	ev, s := realSobelFixture(t)
+	// Poison the space: an extra circuit of the wrong operation appended
+	// to some library makes any configuration selecting it fail synthesis
+	// (Flatten rejects the op mismatch).
+	k := -1
+	for i := range s {
+		if s[i][0].Op != s[0][0].Op {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		t.Fatal("fixture has a single op type")
+	}
+	poisoned := append(Space(nil), s...)
+	poisoned[k] = append(append([]*acl.Circuit(nil), s[k]...), s[0][0])
+	// Draw from the unpoisoned space so only the doctored config below can
+	// ever select the mismatched circuit.
+	cfgs := s.RandomConfigs(8, 5)
+	bad := 1
+	cfgs[bad] = make([]int, len(poisoned))
+	cfgs[bad][k] = len(poisoned[k]) - 1 // the mismatched circuit
+	for _, par := range []int{1, 4} {
+		_, err := EvaluateAllParallel(context.Background(), ev, poisoned, cfgs, par)
+		if err == nil {
+			t.Fatalf("parallelism %d: poisoned batch succeeded", par)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("configuration %d", bad)) {
+			t.Errorf("parallelism %d: error %q does not name configuration %d", par, err, bad)
+		}
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 
 	"autoax/internal/pareto"
 )
@@ -110,29 +112,99 @@ func RandomSearch(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]i
 const ExhaustiveLimit = 5e7
 
 // Exhaustive enumerates the whole configuration space (used to obtain the
-// optimal Pareto front of Table 4 for spaces within ExhaustiveLimit).
+// optimal Pareto front of Table 4 for spaces within ExhaustiveLimit),
+// sharding the keyspace over runtime.GOMAXPROCS workers; see
+// ExhaustiveParallel for the concurrency contract.
 func Exhaustive(s Space, est Estimator) (*pareto.Archive[[]int], error) {
-	if n := s.NumConfigs(); n > ExhaustiveLimit {
+	return ExhaustiveParallel(s, est, 0)
+}
+
+// ExhaustiveParallel is Exhaustive with an explicit parallelism bound
+// (≤ 0 means runtime.GOMAXPROCS, 1 forces the sequential path).  The
+// linearized odometer keyspace is partitioned into contiguous per-shard
+// ranges, each enumerated into a private sub-archive, and the sub-archives
+// are merged in keyspace order — so the result (points and payloads,
+// including which of two equal-scoring configurations is kept: the
+// enumeration-earlier one) is identical to the sequential enumeration.
+//
+// est is called concurrently from every shard and must be safe for
+// concurrent use; Models.Estimator is (its regressors are read-only after
+// fitting and it allocates per-call feature vectors).
+func ExhaustiveParallel(s Space, est Estimator, parallelism int) (*pareto.Archive[[]int], error) {
+	n := s.NumConfigs()
+	if n > ExhaustiveLimit {
 		return nil, fmt.Errorf("dse: space of %.3g configurations exceeds the exhaustive limit %.3g", n, ExhaustiveLimit)
 	}
+	total := int(n)
+	if total <= 0 { // an op with an empty library: nothing to enumerate
+		return &pareto.Archive[[]int]{}, nil
+	}
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		return exhaustiveRange(s, est, 0, total), nil
+	}
+	shards := make([]*pareto.Archive[[]int], workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		// 64-bit intermediates: total*w can exceed a 32-bit int for
+		// near-limit spaces at high shard counts.
+		lo := int(int64(total) * int64(w) / int64(workers))
+		hi := int(int64(total) * int64(w+1) / int64(workers))
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			shards[w] = exhaustiveRange(s, est, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Merge in keyspace order: every shard archive is internally
+	// non-dominated, so inserting its members into the first shard's
+	// archive reproduces the global front, with equal-point ties resolved
+	// to the enumeration-earliest configuration exactly as a sequential
+	// run would.
+	merged := shards[0]
+	for _, a := range shards[1:] {
+		pts, payloads := a.Points(), a.Payloads()
+		for i := range pts {
+			merged.Insert(pts[i], payloads[i])
+		}
+	}
+	return merged, nil
+}
+
+// exhaustiveRange enumerates linear odometer indices [lo, hi) of the
+// configuration space (index 0 is the fastest-counting digit) into a fresh
+// archive.  Accepted configurations are archived as copies — the archive
+// must never alias the live odometer slice, which the loop keeps mutating.
+func exhaustiveRange(s Space, est Estimator, lo, hi int) *pareto.Archive[[]int] {
 	archive := &pareto.Archive[[]int]{}
 	cfg := make([]int, len(s))
-	for {
+	rem := lo
+	for i := range cfg {
+		cfg[i] = rem % len(s[i])
+		rem /= len(s[i])
+	}
+	for idx := lo; idx < hi; idx++ {
 		q, h := est(cfg)
-		archive.Insert(point(q, h), cfg)
+		if pt := point(q, h); !archive.Covered(pt) {
+			archive.Insert(pt, append([]int(nil), cfg...))
+		}
 		// Odometer increment.
-		i := 0
-		for ; i < len(cfg); i++ {
+		for i := 0; i < len(cfg); i++ {
 			cfg[i]++
 			if cfg[i] < len(s[i]) {
 				break
 			}
 			cfg[i] = 0
 		}
-		if i == len(cfg) {
-			return archive, nil
-		}
 	}
+	return archive
 }
 
 // UniformSelection is the paper's manual baseline: for a grid of `levels`

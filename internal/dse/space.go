@@ -10,6 +10,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"autoax/internal/accel"
 	"autoax/internal/acl"
@@ -64,12 +67,35 @@ func (s Space) RandomConfig(rng *rand.Rand) []int {
 
 // Neighbor returns a copy of cfg with one randomly chosen operation
 // re-assigned to a random different circuit (the GetNeighbour move of
-// Algorithm 1).  Single-circuit libraries are left unchanged.
+// Algorithm 1).  An operation whose library holds a single circuit cannot
+// move, so a draw landing on one resamples among the multi-circuit
+// operations — returning the configuration unchanged would burn an
+// estimator evaluation and spuriously advance Algorithm 1's stagnation
+// counter.  Only when no operation has an alternative is cfg returned
+// unchanged.
 func (s Space) Neighbor(cfg []int, rng *rand.Rand) []int {
 	next := append([]int(nil), cfg...)
 	k := rng.Intn(len(s))
 	if len(s[k]) == 1 {
-		return next
+		movable := 0
+		for _, lib := range s {
+			if len(lib) > 1 {
+				movable++
+			}
+		}
+		if movable == 0 {
+			return next
+		}
+		j := rng.Intn(movable)
+		for i, lib := range s {
+			if len(lib) > 1 {
+				if j == 0 {
+					k = i
+					break
+				}
+				j--
+			}
+		}
 	}
 	nv := rng.Intn(len(s[k]) - 1)
 	if nv >= cfg[k] {
@@ -115,25 +141,108 @@ func (s Space) HWFeatures(cfg []int) []float64 {
 }
 
 // EvaluateAll precisely evaluates every configuration (simulation +
-// synthesis) via the accel evaluator.
+// synthesis) via the accel evaluator, fanning out over all cores.
 func EvaluateAll(ev *accel.Evaluator, s Space, cfgs [][]int) ([]accel.Result, error) {
 	return EvaluateAllContext(context.Background(), ev, s, cfgs)
 }
 
-// EvaluateAllContext is EvaluateAll with cancellation: the context is
-// checked before every configuration, so a cancelled job stops within one
-// precise evaluation rather than finishing the whole batch.
+// EvaluateAllContext is EvaluateAll with cancellation.  It shards the
+// batch over runtime.GOMAXPROCS workers; see EvaluateAllParallel for the
+// concurrency contract.
 func EvaluateAllContext(ctx context.Context, ev *accel.Evaluator, s Space, cfgs [][]int) ([]accel.Result, error) {
+	return EvaluateAllParallel(ctx, ev, s, cfgs, 0)
+}
+
+// EvaluateAllParallel is EvaluateAllContext with an explicit parallelism
+// bound — the precise-evaluation hot loop of paper Steps 2 and 3, which is
+// embarrassingly parallel per configuration.
+//
+// parallelism ≤ 0 means runtime.GOMAXPROCS; 1 forces the sequential path.
+// Each extra worker evaluates on its own ev.Clone() (sharing the immutable
+// precomputed state, owning its scratch), so the caller's evaluator is
+// never raced.  Results are deterministic and order-stable: result i is
+// configuration i's, regardless of worker completion order, and equals
+// what the sequential path produces.  The context is checked before every
+// configuration, so a cancelled job stops within one precise evaluation
+// per worker; the first evaluation error (lowest configuration index
+// observed) cancels the sibling shards and is returned.
+func EvaluateAllParallel(ctx context.Context, ev *accel.Evaluator, s Space, cfgs [][]int, parallelism int) ([]accel.Result, error) {
+	workers := parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
 	out := make([]accel.Result, len(cfgs))
-	for i, cfg := range cfgs {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	if workers <= 1 {
+		for i, cfg := range cfgs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			r, err := ev.Evaluate(s.Circuits(cfg))
+			if err != nil {
+				return nil, fmt.Errorf("dse: evaluating configuration %d: %w", i, err)
+			}
+			out[i] = r
 		}
-		r, err := ev.Evaluate(s.Circuits(cfg))
-		if err != nil {
-			return nil, fmt.Errorf("dse: evaluating configuration %d: %w", i, err)
+		return out, nil
+	}
+
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		next     atomic.Int64 // next configuration index to claim
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if firstIdx < 0 || i < firstIdx {
+			firstIdx, firstErr = i, err
 		}
-		out[i] = r
+		mu.Unlock()
+		cancel() // first error aborts the sibling shards
+	}
+	// Clone every shard before any worker starts: Clone copies the
+	// evaluator struct, so cloning from ev while worker 0 already mutates
+	// its scratch would itself be a race.
+	shardEvs := make([]*accel.Evaluator, workers)
+	shardEvs[0] = ev
+	for w := 1; w < workers; w++ {
+		shardEvs[w] = ev.Clone()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(shard *accel.Evaluator) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				if shardCtx.Err() != nil {
+					return
+				}
+				r, err := shard.Evaluate(s.Circuits(cfgs[i]))
+				if err != nil {
+					fail(i, fmt.Errorf("dse: evaluating configuration %d: %w", i, err))
+					return
+				}
+				out[i] = r
+			}
+		}(shardEvs[w])
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// No evaluation failed; if the batch still stopped short it was the
+	// caller's context, reported bare like the sequential path.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

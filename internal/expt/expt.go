@@ -53,6 +53,10 @@ type Setup struct {
 	Scale  Scale
 	Seed   int64
 	OutDir string // CSV destination; empty disables file output
+	// Parallelism bounds the workers used for precise-evaluation batches
+	// and exhaustive enumeration (0 = runtime.GOMAXPROCS, 1 = sequential).
+	// Results are identical at every setting.
+	Parallelism int
 }
 
 // params bundles the per-scale knob settings.
@@ -193,7 +197,7 @@ func AppNames() []string { return []string{"sobel", "fixedgf", "genericgf"} }
 // pipelineConfig returns the core.Config for one app under this setup.
 func (s Setup) pipelineConfig(name string) core.Config {
 	p := s.params()
-	cfg := core.Config{Engine: ml.Engines()[0], Stagnation: 50, Seed: s.Seed}
+	cfg := core.Config{Engine: ml.Engines()[0], Stagnation: 50, Parallelism: s.Parallelism, Seed: s.Seed}
 	if name == "sobel" {
 		cfg.TrainConfigs, cfg.TestConfigs, cfg.SearchEvals = p.trainSobel, p.testSobel, p.evalsSobel
 	} else {

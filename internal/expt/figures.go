@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -173,14 +174,14 @@ func Figure5App(s Setup, name string) ([]FrontSeries, error) {
 		budget = 1
 	}
 	rsCfgs := pipe.Space.RandomConfigs(budget, s.Seed+77)
-	rsRes, err := dse.EvaluateAll(pipe.Ev, pipe.Space, rsCfgs)
+	rsRes, err := dse.EvaluateAllParallel(context.Background(), pipe.Ev, pipe.Space, rsCfgs, s.Parallelism)
 	if err != nil {
 		return nil, err
 	}
 
 	p := s.params()
 	uniCfgs := dse.UniformSelection(pipe.Space, p.uniformLevels)
-	uniRes, err := dse.EvaluateAll(pipe.Ev, pipe.Space, uniCfgs)
+	uniRes, err := dse.EvaluateAllParallel(context.Background(), pipe.Ev, pipe.Space, uniCfgs, s.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -45,14 +45,25 @@ func (a *Archive[T]) Points() []Point { return a.pts }
 // Payloads returns the archived payloads (shared storage).
 func (a *Archive[T]) Payloads() []T { return a.payloads }
 
+// Covered reports whether an archived point dominates or equals p — i.e.
+// whether Insert(p, …) would reject it.  It lets hot enumeration loops
+// defer building an expensive payload (such as copying a configuration)
+// until the point is known to be accepted.
+func (a *Archive[T]) Covered(p Point) bool {
+	for _, q := range a.pts {
+		if Dominates(q, p) || equal(q, p) {
+			return true
+		}
+	}
+	return false
+}
+
 // Insert adds (p, payload) if no archived point dominates or equals p,
 // evicting archived points p dominates.  It reports whether the point was
 // inserted — the accept test of the paper's Algorithm 1.
 func (a *Archive[T]) Insert(p Point, payload T) bool {
-	for _, q := range a.pts {
-		if Dominates(q, p) || equal(q, p) {
-			return false
-		}
+	if a.Covered(p) {
+		return false
 	}
 	keep := 0
 	for i := range a.pts {
