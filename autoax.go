@@ -29,12 +29,17 @@
 //	core               the three-step methodology pipeline
 //	expt               drivers regenerating every paper table and figure
 //	axserver           asynchronous HTTP/JSON job service (worker pool,
-//	                   content-addressed cache) behind `autoax serve`
+//	                   content-addressed cache with request coalescing)
+//	                   behind `autoax serve`; accepts named apps or
+//	                   inline wire-format accelerators
+//	axclient           typed Go client SDK for the job service (public,
+//	                   re-exported here as Client/NewClient)
 package autoax
 
 import (
 	"io"
 
+	"autoax/axclient"
 	"autoax/internal/accel"
 	"autoax/internal/acl"
 	"autoax/internal/apps"
@@ -65,6 +70,15 @@ type (
 	ImageApp = accel.ImageApp
 	// Graph is an accelerator dataflow graph.
 	Graph = accel.Graph
+	// WireGraph is the versioned JSON wire form of a Graph
+	// (Graph.MarshalWire / ParseGraphJSON).
+	WireGraph = accel.WireGraph
+	// WireApp is the versioned JSON wire form of an ImageApp — the
+	// payload of the server request "accelerator" field
+	// (ImageApp.MarshalWire / ParseAppJSON).
+	WireApp = accel.WireApp
+	// WireNode is one graph node of a WireGraph.
+	WireNode = accel.WireNode
 	// WindowTap binds a graph input to a 3×3 window position.
 	WindowTap = accel.WindowTap
 	// Configuration assigns one library circuit to every operation.
@@ -105,14 +119,66 @@ type (
 	ServerLibraryRequest = axserver.LibraryRequest
 	// ServerLibrarySpec is one operation's entry in a ServerLibraryRequest.
 	ServerLibrarySpec = axserver.SpecRequest
-	// ServerEvaluateRequest asks for precise configuration evaluation.
+	// ServerEvaluateRequest asks for precise configuration evaluation of a
+	// named app or an inline wire-format accelerator.
 	ServerEvaluateRequest = axserver.EvaluateRequest
-	// ServerPipelineRequest asks for a full methodology run.
+	// ServerPipelineRequest asks for a full methodology run of a named app
+	// or an inline wire-format accelerator.
 	ServerPipelineRequest = axserver.PipelineRequest
+	// ServerLibraryResult is the result payload of a library job.
+	ServerLibraryResult = axserver.LibraryResult
+	// ServerEvaluateResult is the result payload of an evaluate job.
+	ServerEvaluateResult = axserver.EvaluateResult
+	// ServerPipelineResult is the result payload of a pipeline job.
+	ServerPipelineResult = axserver.PipelineResult
+	// ServerStats is the GET /v1/stats payload.
+	ServerStats = axserver.Stats
+	// ServerCacheStats reports content-addressed cache effectiveness,
+	// including singleflight-coalesced requests.
+	ServerCacheStats = axserver.CacheStats
+	// ServerCancelResponse is the DELETE /v1/jobs/{id} payload.
+	ServerCancelResponse = axserver.CancelResponse
 	// ImageSpec describes a deterministic benchmark image set for server
 	// requests.
 	ImageSpec = axserver.ImageSpec
 )
+
+// Re-exported client SDK (see axclient): a typed Go client for the job
+// service with backoff polling and typed result decoding.
+type (
+	// Client talks to one autoAx job service over HTTP.
+	Client = axclient.Client
+	// ClientOption customizes a Client (e.g. WithHTTPClient).
+	ClientOption = axclient.Option
+	// APIError is a non-2xx server response surfaced by the client.
+	APIError = axclient.APIError
+)
+
+// NewClient returns a typed client for the job service at baseURL
+// (e.g. "http://localhost:8080").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	return axclient.New(baseURL, opts...)
+}
+
+// Typed result decoding for terminal jobs returned by Client.Jobs.Wait.
+var (
+	// LibraryResultOf decodes a succeeded library job's result.
+	LibraryResultOf = axclient.LibraryResultOf
+	// EvaluateResultOf decodes a succeeded evaluate job's result.
+	EvaluateResultOf = axclient.EvaluateResultOf
+	// PipelineResultOf decodes a succeeded pipeline job's result.
+	PipelineResultOf = axclient.PipelineResultOf
+)
+
+// ParseGraphJSON strictly decodes a wire-format accelerator graph; see
+// Graph.MarshalWire for the inverse.
+var ParseGraphJSON = accel.ParseGraphJSON
+
+// ParseAppJSON strictly decodes a wire-format accelerator app (graph,
+// window taps, simulations); see ImageApp.MarshalWire for the inverse.
+// The decoded app is fully validated and ready for NewEvaluator or
+// NewPipeline.
+var ParseAppJSON = accel.ParseAppJSON
 
 // NewServer starts the worker pool of an asynchronous job service; mount
 // Server.Handler on an http.Server and Close on shutdown.

@@ -2,6 +2,7 @@ package autoax_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"math"
 	"net/http"
@@ -196,5 +197,111 @@ func TestPublicAPIServer(t *testing.T) {
 	specs := []autoax.LibrarySpec{{Op: autoax.OpMul(4), Count: 8}}
 	if autoax.LibraryKey(specs, 0) != autoax.LibraryKey(specs, 1) {
 		t.Error("LibraryKey(seed 0) does not match the server's seed defaulting")
+	}
+}
+
+// TestPublicAPIClientPipelineParity is the acceptance path of the
+// first-class-accelerator API: a custom accelerator defined with
+// autoax.NewGraph, serialized to JSON, submitted through the client SDK to
+// /v1/pipelines, must return a Pareto front identical to the same graph
+// run in-process.
+func TestPublicAPIClientPipelineParity(t *testing.T) {
+	const (
+		libCount      = 12
+		trainN, testN = 24, 12
+		evalsN        = 1500
+		stagnation    = 50
+		seed          = int64(1)
+	)
+	g := autoax.NewGraph("halfsum")
+	a := g.Input("a", 8)
+	b := g.Input("b", 8)
+	sum := g.Add("add", 8, a, b)                       // 9 bits
+	diff := g.Sub("sub", 9, sum, g.ShiftL("a2", a, 1)) // 10 bits
+	g.Output(g.Clamp("sat", g.Abs("abs", diff), 8))
+	app := &autoax.ImageApp{
+		Name:  "halfsum",
+		Graph: g,
+		Taps:  []autoax.WindowTap{{DX: 0, DY: 0}, {DX: 1, DY: 0}},
+		Sims:  [][]uint64{{}},
+	}
+
+	// Serialize to JSON and back — the submitted accelerator is the
+	// round-tripped artifact, exactly what a remote client would send.
+	wire, err := app.MarshalWire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wireApp autoax.WireApp
+	if err := json.Unmarshal(wire, &wireApp); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-process run.
+	specs := []autoax.LibrarySpec{
+		{Op: autoax.OpAdd(8), Count: libCount},
+		{Op: autoax.OpSub(9), Count: libCount},
+	}
+	lib, err := autoax.BuildLibrary(specs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	images := autoax.BenchmarkImages(2, 32, 24, seed+1000)
+	pipe, err := autoax.NewPipeline(app, lib, images, autoax.Config{
+		TrainConfigs: trainN, TestConfigs: testN,
+		SearchEvals: evalsN, Stagnation: stagnation, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, localRes := pipe.FrontResults()
+
+	// The same run through the service, driven by the client SDK.
+	srv, err := autoax.NewServer(autoax.ServerOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := autoax.NewClient(ts.URL)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	job, err := client.SubmitPipeline(ctx, autoax.ServerPipelineRequest{
+		Accelerator: &wireApp,
+		Library: autoax.ServerLibraryRequest{
+			Specs: []autoax.ServerLibrarySpec{
+				{Op: "add8", Count: libCount},
+				{Op: "sub9", Count: libCount},
+			},
+			Seed: seed,
+		},
+		Images:       autoax.ImageSpec{Count: 2, Width: 32, Height: 24, Seed: seed + 1000},
+		TrainConfigs: trainN, TestConfigs: testN,
+		SearchEvals: evalsN, Stagnation: stagnation, Seed: seed,
+	})
+	if err != nil {
+		t.Fatalf("SubmitPipeline: %v", err)
+	}
+	done, err := client.Jobs.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	remote, err := autoax.PipelineResultOf(done)
+	if err != nil {
+		t.Fatalf("decode: %v (job error %q)", err, done.Error)
+	}
+
+	if len(remote.Front) != len(localRes) {
+		t.Fatalf("front size: service %d vs in-process %d", len(remote.Front), len(localRes))
+	}
+	for i, f := range remote.Front {
+		if f.SSIM != localRes[i].SSIM || f.Area != localRes[i].Area || f.Energy != localRes[i].Energy {
+			t.Errorf("front entry %d differs: service %+v vs in-process %+v", i, f, localRes[i])
+		}
 	}
 }

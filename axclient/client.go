@@ -1,0 +1,283 @@
+// Package axclient is the typed Go client for the autoAx job service
+// (internal/axserver, `autoax serve`).  It wraps the asynchronous v1
+// HTTP/JSON API — submit a job, poll it to a terminal state, decode its
+// kind-specific result:
+//
+//	c := axclient.New("http://localhost:8080")
+//	job, err := c.SubmitPipeline(ctx, autoax.ServerPipelineRequest{
+//		Accelerator: wireApp, // or App: "sobel"
+//		Library:     lib, Images: images,
+//	})
+//	...
+//	done, err := c.Jobs.Wait(ctx, job.ID)
+//	...
+//	res, err := axclient.PipelineResultOf(done)
+//
+// Request and response types are the server wire types re-exported
+// through the autoax facade (ServerPipelineRequest, JobInfo, ...), so a
+// request that compiles against the client is exactly a request the
+// server accepts.  Non-2xx responses surface as *APIError with the
+// server's error envelope.
+package axclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"autoax/internal/axserver"
+)
+
+// Client talks to one autoAx job service.  The zero value is not usable;
+// create clients with New.  A Client is safe for concurrent use.
+type Client struct {
+	baseURL string
+	hc      *http.Client
+
+	// Jobs accesses the job endpoints (get, list, wait, cancel).
+	Jobs *JobsService
+}
+
+// Option customizes a Client.
+type Option func(*Client)
+
+// WithHTTPClient replaces the underlying *http.Client (default:
+// http.DefaultClient).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the service at baseURL (e.g.
+// "http://localhost:8080"); a trailing slash is trimmed.
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{baseURL: strings.TrimRight(baseURL, "/"), hc: http.DefaultClient}
+	for _, o := range opts {
+		o(c)
+	}
+	c.Jobs = &JobsService{c: c}
+	return c
+}
+
+// BaseURL returns the service address the client targets.
+func (c *Client) BaseURL() string { return c.baseURL }
+
+// APIError is a non-2xx response from the service, carrying the decoded
+// error envelope (or the raw body when the envelope is missing).
+type APIError struct {
+	Status  int    // HTTP status code
+	Message string // server-provided error text
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("axclient: server returned %d: %s", e.Status, e.Message)
+}
+
+// do issues one request and decodes a 2xx JSON response into out (when
+// non-nil).  Non-2xx responses become *APIError.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("axclient: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("axclient: building request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("axclient: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return apiError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("axclient: decoding response: %w", err)
+	}
+	return nil
+}
+
+// apiError turns a non-2xx response into *APIError, extracting the JSON
+// error envelope when present and falling back to the raw body text.
+func apiError(resp *http.Response) *APIError {
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	msg := strings.TrimSpace(string(raw))
+	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
+		msg = envelope.Error
+	}
+	return &APIError{Status: resp.StatusCode, Message: msg}
+}
+
+// SubmitLibrary enqueues a content-addressed library build
+// (POST /v1/libraries) and returns the queued job.
+func (c *Client) SubmitLibrary(ctx context.Context, req axserver.LibraryRequest) (axserver.JobInfo, error) {
+	var info axserver.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/libraries", req, &info)
+	return info, err
+}
+
+// SubmitEvaluate enqueues a precise-evaluation job (POST /v1/evaluate).
+func (c *Client) SubmitEvaluate(ctx context.Context, req axserver.EvaluateRequest) (axserver.JobInfo, error) {
+	var info axserver.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/evaluate", req, &info)
+	return info, err
+}
+
+// SubmitPipeline enqueues a full methodology run (POST /v1/pipelines).
+func (c *Client) SubmitPipeline(ctx context.Context, req axserver.PipelineRequest) (axserver.JobInfo, error) {
+	var info axserver.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/pipelines", req, &info)
+	return info, err
+}
+
+// Library fetches the serialized library artifact stored under a canonical
+// key (GET /v1/libraries/{key}); decode it with acl.LoadBytes /
+// autoax.LoadLibrary semantics.
+func (c *Client) Library(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/libraries/"+key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("axclient: building request: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("axclient: GET library: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Stats fetches the service-health snapshot (GET /v1/stats): worker and
+// queue counts, job states, cache hit/miss/coalesced counters.
+func (c *Client) Stats(ctx context.Context) (axserver.Stats, error) {
+	var st axserver.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Healthz probes the liveness endpoint.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}
+
+// JobsService accesses the job endpoints.
+type JobsService struct {
+	c *Client
+}
+
+// Get fetches one job's current snapshot (GET /v1/jobs/{id}).
+func (s *JobsService) Get(ctx context.Context, id string) (axserver.JobInfo, error) {
+	var info axserver.JobInfo
+	err := s.c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	return info, err
+}
+
+// List fetches every retained job, oldest first (GET /v1/jobs).
+func (s *JobsService) List(ctx context.Context) ([]axserver.JobInfo, error) {
+	var list []axserver.JobInfo
+	err := s.c.do(ctx, http.MethodGet, "/v1/jobs", nil, &list)
+	return list, err
+}
+
+// Wait polling bounds: the interval starts at waitBaseInterval, grows by
+// waitBackoff per poll and is capped at waitMaxInterval — quick enough to
+// catch cache hits near-instantly, gentle enough to leave long builds in
+// peace.
+const (
+	waitBaseInterval = 25 * time.Millisecond
+	waitMaxInterval  = 2 * time.Second
+	waitBackoff      = 1.6
+)
+
+// Wait polls a job until it reaches a terminal state (succeeded, failed or
+// cancelled) or ctx is done, backing off exponentially between polls.  The
+// terminal JobInfo is returned as-is: callers inspect State/Error and
+// decode Result (see LibraryResultOf and friends).  Bound the wait with a
+// context deadline.
+func (s *JobsService) Wait(ctx context.Context, id string) (axserver.JobInfo, error) {
+	interval := waitBaseInterval
+	for {
+		info, err := s.Get(ctx, id)
+		if err != nil {
+			return axserver.JobInfo{}, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-ctx.Done():
+			return info, ctx.Err()
+		case <-time.After(interval):
+		}
+		if interval = time.Duration(float64(interval) * waitBackoff); interval > waitMaxInterval {
+			interval = waitMaxInterval
+		}
+	}
+}
+
+// Cancel requests cancellation of a job (DELETE /v1/jobs/{id}).  Queued
+// jobs cancel deterministically; for running jobs the response is a
+// best-effort acknowledgement (see axserver.CancelResponse) and the job
+// must be polled — e.g. with Wait — for its actual outcome.
+func (s *JobsService) Cancel(ctx context.Context, id string) (axserver.CancelResponse, error) {
+	var ack axserver.CancelResponse
+	err := s.c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &ack)
+	return ack, err
+}
+
+// resultOf decodes a succeeded job's kind-specific result payload.
+func resultOf[T any](info axserver.JobInfo, kind string) (T, error) {
+	var out T
+	if info.Kind != kind {
+		return out, fmt.Errorf("axclient: job %s is a %s job, not %s", info.ID, info.Kind, kind)
+	}
+	switch info.State {
+	case axserver.JobSucceeded:
+	case axserver.JobFailed:
+		return out, fmt.Errorf("axclient: job %s failed: %s", info.ID, info.Error)
+	case axserver.JobCancelled:
+		return out, fmt.Errorf("axclient: job %s was cancelled", info.ID)
+	default:
+		return out, fmt.Errorf("axclient: job %s is still %s", info.ID, info.State)
+	}
+	if err := json.Unmarshal(info.Result, &out); err != nil {
+		return out, fmt.Errorf("axclient: decoding %s result: %w", kind, err)
+	}
+	return out, nil
+}
+
+// LibraryResultOf decodes the result of a succeeded library job.
+func LibraryResultOf(info axserver.JobInfo) (axserver.LibraryResult, error) {
+	return resultOf[axserver.LibraryResult](info, "library")
+}
+
+// EvaluateResultOf decodes the result of a succeeded evaluate job.
+func EvaluateResultOf(info axserver.JobInfo) (axserver.EvaluateResult, error) {
+	return resultOf[axserver.EvaluateResult](info, "evaluate")
+}
+
+// PipelineResultOf decodes the result of a succeeded pipeline job.
+func PipelineResultOf(info axserver.JobInfo) (axserver.PipelineResult, error) {
+	return resultOf[axserver.PipelineResult](info, "pipeline")
+}

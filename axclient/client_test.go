@@ -1,0 +1,174 @@
+package axclient_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"autoax/axclient"
+	"autoax/internal/acl"
+	"autoax/internal/axserver"
+)
+
+// startService spins up a real axserver behind httptest and returns a
+// client for it.
+func startService(t *testing.T, opts axserver.Options) (*axclient.Client, *axserver.Server) {
+	t.Helper()
+	s, err := axserver.New(opts)
+	if err != nil {
+		t.Fatalf("axserver.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return axclient.New(ts.URL), s
+}
+
+func tinyLibrary() axserver.LibraryRequest {
+	return axserver.LibraryRequest{
+		Specs: []axserver.SpecRequest{
+			{Op: "add8", Count: 8},
+			{Op: "add9", Count: 8},
+			{Op: "sub10", Count: 6},
+		},
+		Seed: 1,
+	}
+}
+
+// TestClientLibraryFlow drives submit → wait → decode → artifact fetch →
+// stats through the typed client.
+func TestClientLibraryFlow(t *testing.T) {
+	c, _ := startService(t, axserver.Options{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	job, err := c.SubmitLibrary(ctx, tinyLibrary())
+	if err != nil {
+		t.Fatalf("SubmitLibrary: %v", err)
+	}
+	if job.State != axserver.JobQueued && job.State != axserver.JobRunning {
+		t.Fatalf("fresh job in state %s", job.State)
+	}
+	done, err := c.Jobs.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	res, err := axclient.LibraryResultOf(done)
+	if err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if res.Size == 0 || res.Key == "" {
+		t.Fatalf("implausible library result %+v", res)
+	}
+
+	// The artifact is fetchable and loadable by key.
+	raw, err := c.Library(ctx, res.Key)
+	if err != nil {
+		t.Fatalf("Library: %v", err)
+	}
+	lib, err := acl.LoadBytes(raw)
+	if err != nil {
+		t.Fatalf("loading fetched library: %v", err)
+	}
+	if lib.Size() != res.Size {
+		t.Fatalf("fetched library has %d circuits, job reported %d", lib.Size(), res.Size)
+	}
+
+	// Stats travel through the same typed surface.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Workers != 1 {
+		t.Errorf("stats report %d workers, want 1", st.Workers)
+	}
+	if err := c.Healthz(ctx); err != nil {
+		t.Errorf("Healthz: %v", err)
+	}
+
+	// Decoding a job under the wrong kind fails loudly.
+	if _, err := axclient.PipelineResultOf(done); err == nil {
+		t.Errorf("library job decoded as a pipeline result")
+	}
+}
+
+// TestClientErrors checks the *APIError surface: invalid submissions and
+// unknown resources.
+func TestClientErrors(t *testing.T) {
+	c, _ := startService(t, axserver.Options{Workers: 1})
+	ctx := context.Background()
+
+	_, err := c.SubmitLibrary(ctx, axserver.LibraryRequest{})
+	var apiErr *axclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("empty library request: got %v, want *APIError 400", err)
+	}
+	if apiErr.Message == "" {
+		t.Errorf("APIError carries no server message")
+	}
+	if _, err := c.Jobs.Get(ctx, "job-999999"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown job: got %v, want *APIError 404", err)
+	}
+	if _, err := c.Library(ctx, "deadbeef"); !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("unknown library: got %v, want *APIError 404", err)
+	}
+	if _, err := c.SubmitPipeline(ctx, axserver.PipelineRequest{
+		Library: tinyLibrary(),
+		Images:  axserver.ImageSpec{Count: 1, Width: 32, Height: 24},
+	}); !errors.As(err, &apiErr) || apiErr.Status != 400 {
+		t.Fatalf("appless pipeline request: got %v, want *APIError 400", err)
+	}
+}
+
+// TestClientCancelAndWait checks Cancel's best-effort contract composed
+// with Wait, and that Wait respects its context.
+func TestClientCancelAndWait(t *testing.T) {
+	c, _ := startService(t, axserver.Options{Workers: 1})
+	ctx := context.Background()
+
+	// A pipeline big enough to still be running when the cancel lands.
+	req := axserver.PipelineRequest{
+		App:          "sobel",
+		Library:      tinyLibrary(),
+		Images:       axserver.ImageSpec{Count: 2, Width: 32, Height: 24, Seed: 5},
+		TrainConfigs: 50000,
+		TestConfigs:  1000,
+		SearchEvals:  2000,
+	}
+	job, err := c.SubmitPipeline(ctx, req)
+	if err != nil {
+		t.Fatalf("SubmitPipeline: %v", err)
+	}
+
+	// Wait under a short deadline observes the running job, not a hang.
+	shortCtx, cancelShort := context.WithTimeout(ctx, 150*time.Millisecond)
+	defer cancelShort()
+	if _, err := c.Jobs.Wait(shortCtx, job.ID); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait under deadline: got %v, want DeadlineExceeded", err)
+	}
+
+	ack, err := c.Jobs.Cancel(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	if ack.Job.ID != job.ID {
+		t.Fatalf("cancel acked job %s, want %s", ack.Job.ID, job.ID)
+	}
+	final, err := c.Jobs.Wait(ctx, job.ID)
+	if err != nil {
+		t.Fatalf("Wait after cancel: %v", err)
+	}
+	if final.State != axserver.JobCancelled && final.State != axserver.JobSucceeded {
+		t.Fatalf("cancelled job ended as %s (error %q)", final.State, final.Error)
+	}
+	// Either way the result decoding contract holds.
+	if final.State == axserver.JobCancelled {
+		if _, err := axclient.PipelineResultOf(final); err == nil {
+			t.Errorf("cancelled job decoded a result")
+		}
+	}
+}

@@ -13,8 +13,12 @@
 //	library                              build the component library and
 //	                                     save it to -lib
 //	pipeline <app>                       run the methodology on one app
-//	                                     (sobel, fixedgf, genericgf) and
+//	                                     (sobel, fixedgf, genericgf — or a
+//	                                     custom accelerator via -graph) and
 //	                                     print its final Pareto front
+//	submit                               submit a pipeline to a running
+//	                                     `autoax serve` through the client
+//	                                     SDK and wait for the result
 //	serve                                run the asynchronous HTTP job
 //	                                     service (see internal/axserver)
 //	version                              print the version
@@ -25,6 +29,8 @@
 //	-seed N                   master random seed (default 1)
 //	-out DIR                  CSV output directory (default results)
 //	-lib FILE                 library JSON path for the library command
+//	-graph FILE               wire-format accelerator JSON; replaces the
+//	                          app name for pipeline and submit
 //	-parallel N               precise-evaluation workers (default 0 = all
 //	                          cores; results are identical at any setting)
 package main
@@ -37,14 +43,20 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
 	"path/filepath"
 
+	"autoax/axclient"
+	"autoax/internal/accel"
 	"autoax/internal/acl"
+	"autoax/internal/apps"
 	"autoax/internal/axserver"
+	"autoax/internal/core"
 	"autoax/internal/expt"
+	"autoax/internal/imagedata"
 )
 
 // version identifies the build for the version subcommand.
@@ -55,6 +67,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	out := flag.String("out", "results", "CSV output directory (empty to disable)")
 	libPath := flag.String("lib", "library.json", "library file for the library command")
+	graphPath := flag.String("graph", "", "wire-format accelerator JSON file (pipeline and submit)")
 	parallel := flag.Int("parallel", 0, "precise-evaluation workers (0 = all cores, 1 = sequential; results are identical)")
 	flag.Usage = usage
 	flag.Parse()
@@ -69,6 +82,11 @@ func main() {
 	sc, err := expt.ParseScale(*scale)
 	if err != nil {
 		fatal(err)
+	}
+	// -graph selects the accelerator for pipeline and submit only; anywhere
+	// else it would be silently ignored, so reject it loudly instead.
+	if cmd := flag.Arg(0); *graphPath != "" && cmd != "pipeline" && cmd != "submit" {
+		fatal(fmt.Errorf("-graph applies to the pipeline and submit commands, not %q", cmd))
 	}
 	s := expt.Setup{Scale: sc, Seed: *seed, OutDir: *out, Parallelism: *parallel}
 	w := os.Stdout
@@ -112,10 +130,18 @@ func main() {
 			}
 		}
 	case "pipeline":
-		if flag.NArg() < 2 {
-			fatal(fmt.Errorf("pipeline needs an app name (sobel, fixedgf, genericgf)"))
+		switch {
+		case *graphPath != "" && flag.NArg() >= 2:
+			fatal(fmt.Errorf("pipeline takes an app name or -graph FILE, not both"))
+		case *graphPath != "":
+			err = runPipelineGraph(s, *graphPath)
+		case flag.NArg() >= 2:
+			err = runPipeline(s, flag.Arg(1))
+		default:
+			fatal(fmt.Errorf("pipeline needs an app name (sobel, fixedgf, genericgf) or -graph FILE"))
 		}
-		err = runPipeline(s, flag.Arg(1))
+	case "submit":
+		err = runSubmit(s, *graphPath, flag.Args()[1:])
 	case "export":
 		if flag.NArg() < 2 {
 			fatal(fmt.Errorf("export needs an operation instance (e.g. add8, mul8)"))
@@ -193,6 +219,12 @@ func runPipeline(s expt.Setup, app string) error {
 	if err != nil {
 		return err
 	}
+	printPipeline(app, pipe)
+	return nil
+}
+
+// printPipeline reports a finished methodology run.
+func printPipeline(app string, pipe *core.Pipeline) {
 	fmt.Printf("app %s: reduced space %.3g configurations, model fidelity QoR %.0f%% / HW %.0f%%\n",
 		app, pipe.Space.NumConfigs(), 100*pipe.QoRFidelity, 100*pipe.HWFidelity)
 	fmt.Printf("pseudo Pareto %d configurations → final front %d\n", pipe.Pseudo.Len(), len(pipe.FinalFront))
@@ -200,6 +232,175 @@ func runPipeline(s expt.Setup, app string) error {
 	fmt.Println("  SSIM     area(µm²)  energy(fJ)  configuration")
 	for i, r := range res {
 		fmt.Printf("  %.5f  %9.1f  %10.1f  %v\n", r.SSIM, r.Area, r.Energy, cfgs[i])
+	}
+}
+
+// customBudgets are the per-scale knobs used when the accelerator comes
+// from a -graph file instead of a named case study (which keep their
+// paper-calibrated budgets in internal/expt).
+type customBudgets struct {
+	libCount           int // circuits per operation instance
+	train, test, evals int
+	imgN, imgW, imgH   int
+}
+
+func budgetsFor(sc expt.Scale) customBudgets {
+	switch sc {
+	case expt.ScaleTiny:
+		return customBudgets{libCount: 8, train: 24, test: 12, evals: 2000, imgN: 2, imgW: 32, imgH: 24}
+	case expt.ScalePaper:
+		return customBudgets{libCount: 300, train: 1500, test: 1500, evals: 100000, imgN: 8, imgW: 128, imgH: 96}
+	default: // small
+		return customBudgets{libCount: 60, train: 150, test: 100, evals: 10000, imgN: 3, imgW: 64, imgH: 48}
+	}
+}
+
+// loadGraphApp reads and validates a wire-format accelerator file.
+func loadGraphApp(path string) (*accel.ImageApp, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	app, err := accel.ParseAppJSON(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return app, nil
+}
+
+// opCountsSorted returns the app's distinct operation instances in a
+// deterministic (name-sorted) order — map iteration order must not leak
+// into library specs, which are content-hashed.
+func opCountsSorted(app *accel.ImageApp) []acl.Op {
+	counts := app.Graph.OpCounts()
+	ops := make([]acl.Op, 0, len(counts))
+	for op := range counts {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i].String() < ops[j].String() })
+	return ops
+}
+
+// runPipelineGraph runs the full methodology on a custom accelerator from
+// a wire-format file: a library matching its operation mix is built
+// locally, then the standard three steps run in-process.
+func runPipelineGraph(s expt.Setup, path string) error {
+	app, err := loadGraphApp(path)
+	if err != nil {
+		return err
+	}
+	b := budgetsFor(s.Scale)
+	specs := make([]acl.BuildSpec, 0)
+	for _, op := range opCountsSorted(app) {
+		specs = append(specs, acl.BuildSpec{Op: op, Count: b.libCount})
+	}
+	fmt.Printf("custom accelerator %s: %d operations over %d instance types\n",
+		app.Name, len(app.Graph.OpNodes()), len(specs))
+	lib, err := acl.Build(specs, s.Seed, acl.Options{Seed: s.Seed})
+	if err != nil {
+		return err
+	}
+	images := imagedata.BenchmarkSet(b.imgN, b.imgW, b.imgH, s.Seed+1000)
+	pipe, err := core.NewPipeline(app, lib, images, core.Config{
+		TrainConfigs: b.train,
+		TestConfigs:  b.test,
+		SearchEvals:  b.evals,
+		Parallelism:  s.Parallelism,
+		Seed:         s.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := pipe.Run(); err != nil {
+		return err
+	}
+	printPipeline(app.Name, pipe)
+	return nil
+}
+
+// runSubmit drives a remote `autoax serve` through the client SDK: it
+// submits one pipeline job — for a named app or a -graph accelerator —
+// waits for the terminal state with backoff polling, and prints the front.
+func runSubmit(s expt.Setup, graphPath string, args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the job service")
+	appName := fs.String("app", "", "built-in app name (sobel, fixedgf, genericgf)")
+	timeout := fs.Duration("timeout", 30*time.Minute, "overall submit+wait deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	b := budgetsFor(s.Scale)
+	req := axserver.PipelineRequest{
+		Images:       axserver.ImageSpec{Count: b.imgN, Width: b.imgW, Height: b.imgH, Seed: s.Seed + 1000},
+		TrainConfigs: b.train,
+		TestConfigs:  b.test,
+		SearchEvals:  b.evals,
+		Seed:         s.Seed,
+		Parallelism:  s.Parallelism,
+	}
+	// The library request must cover the accelerator's operation mix, so
+	// the app is materialized locally either way to derive the specs.
+	var app *accel.ImageApp
+	switch {
+	case graphPath != "" && *appName != "":
+		return fmt.Errorf("submit takes -graph or -app, not both")
+	case graphPath != "":
+		a, err := loadGraphApp(graphPath)
+		if err != nil {
+			return err
+		}
+		wire, err := a.Wire()
+		if err != nil {
+			return err
+		}
+		app, req.Accelerator = a, wire
+	case *appName != "":
+		switch *appName {
+		case "sobel":
+			app = apps.Sobel()
+		case "fixedgf":
+			app = apps.FixedGF()
+		case "genericgf":
+			app = apps.GenericGF(apps.GenericGFKernels(2))
+		default:
+			return fmt.Errorf("unknown app %q (want sobel, fixedgf or genericgf)", *appName)
+		}
+		req.App = *appName
+	default:
+		return fmt.Errorf("submit needs -app NAME or the global -graph FILE")
+	}
+	for _, op := range opCountsSorted(app) {
+		req.Library.Specs = append(req.Library.Specs, axserver.SpecRequest{Op: op.String(), Count: b.libCount})
+	}
+	req.Library.Seed = s.Seed
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := axclient.New(*addr)
+	job, err := c.SubmitPipeline(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted %s to %s (accelerator %s)\n", job.ID, *addr, app.Name)
+	done, err := c.Jobs.Wait(ctx, job.ID)
+	if err != nil {
+		return err
+	}
+	res, err := axclient.PipelineResultOf(done)
+	if err != nil {
+		return err
+	}
+	served := "computed"
+	if done.Cached {
+		served = "served from cache"
+	}
+	fmt.Printf("job %s %s in %s (%s)\n", done.ID, done.State, done.Ended.Sub(done.Started).Round(time.Millisecond), served)
+	fmt.Printf("reduced space %.3g configurations, fidelity QoR %.0f%% / HW %.0f%%, engine %s\n",
+		res.SpaceConfigs, 100*res.QoRFidelity, 100*res.HWFidelity, res.Engine)
+	fmt.Println("  SSIM     area(µm²)  energy(fJ)  configuration")
+	for _, f := range res.Front {
+		fmt.Printf("  %.5f  %9.1f  %10.1f  %v\n", f.SSIM, f.Area, f.Energy, f.Config)
 	}
 	return nil
 }
@@ -265,7 +466,14 @@ commands:
   ablation                              feature/threshold ablation studies
   all                                   everything in paper order
   library                               build + save the component library
-  pipeline <sobel|fixedgf|genericgf>    run the methodology on one app
+  pipeline <sobel|fixedgf|genericgf>    run the methodology on one app; with
+                                        the global -graph FILE flag, run it
+                                        on a custom wire-format accelerator
+  submit [-addr URL] [-app NAME] [-timeout D]
+                                        submit a pipeline job to a running
+                                        "autoax serve" via the client SDK
+                                        and wait (combine with -graph FILE
+                                        for custom accelerators)
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
   serve [-addr :8080] [-workers N] [-cache-dir DIR] [-eval-parallel N]

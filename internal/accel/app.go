@@ -10,8 +10,12 @@ import (
 )
 
 // WindowTap binds one 8-bit graph input to a 3×3 sliding-window position
-// (dx, dy ∈ {−1, 0, 1} relative to the output pixel).
-type WindowTap struct{ DX, DY int }
+// (dx, dy ∈ {−1, 0, 1} relative to the output pixel).  The JSON field
+// names are part of the accelerator wire format (see wire.go).
+type WindowTap struct {
+	DX int `json:"dx"`
+	DY int `json:"dy"`
+}
 
 // ImageApp couples an accelerator graph with its image workload: the first
 // len(Taps) graph inputs receive window pixels; the remaining inputs
@@ -44,9 +48,12 @@ func (app *ImageApp) Validate() error {
 			return fmt.Errorf("accel: app %s sim %d has %d values, want %d", app.Name, i, len(sim), extra)
 		}
 	}
-	for i := range app.Taps {
+	for i, tap := range app.Taps {
 		if w := app.Graph.Nodes[app.Graph.Inputs[i]].Width; w != 8 {
 			return fmt.Errorf("accel: app %s tap input %d must be 8-bit, got %d", app.Name, i, w)
+		}
+		if tap.DX < -1 || tap.DX > 1 || tap.DY < -1 || tap.DY > 1 {
+			return fmt.Errorf("accel: app %s tap %d (%d,%d) outside the 3×3 window", app.Name, i, tap.DX, tap.DY)
 		}
 	}
 	if len(app.Graph.Outputs) != 1 || app.Graph.Nodes[app.Graph.Outputs[0]].Width != 8 {

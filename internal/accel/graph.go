@@ -72,8 +72,13 @@ func (g *Graph) Input(name string, width int) int {
 	return id
 }
 
-// Constant declares a constant node.
+// Constant declares a constant node.  The value is masked to the node
+// width so the stored constant always equals the evaluated one (Validate
+// rejects constants wider than their node).
 func (g *Graph) Constant(name string, width int, value uint64) int {
+	if width >= 1 && width <= 63 {
+		value &= uint64(1)<<uint(width) - 1
+	}
 	return g.addNode(Node{Kind: NodeConst, Name: name, Width: width, Const: value})
 }
 
@@ -155,15 +160,38 @@ func (g *Graph) OpCounts() map[acl.Op]int {
 	return m
 }
 
-// Validate checks topological order, argument widths and output ids.
+// Validate checks the structural invariants every consumer of a Graph
+// relies on: topological node order, per-kind argument counts, argument
+// widths, width consistency of the derived (wiring) nodes, and the
+// input/output registrations.  Graphs built through the builder methods
+// satisfy them by construction; graphs decoded from the wire format must
+// pass Validate before they reach EvalExact or Flatten, which assume these
+// invariants instead of re-checking them (a NodeInput missing from Inputs,
+// for example, would otherwise panic EvalExact with an index out of range).
 func (g *Graph) Validate() error {
+	var inputs []int
 	for i, n := range g.Nodes {
 		for _, a := range n.Args {
 			if a < 0 || a >= i {
 				return fmt.Errorf("accel: node %d (%s) references node %d out of order", i, n.Name, a)
 			}
 		}
+		if n.Width < 1 || n.Width > 63 {
+			return fmt.Errorf("accel: node %s has width %d", n.Name, n.Width)
+		}
 		switch n.Kind {
+		case NodeInput:
+			if len(n.Args) != 0 {
+				return fmt.Errorf("accel: input node %s must not have args", n.Name)
+			}
+			inputs = append(inputs, i)
+		case NodeConst:
+			if len(n.Args) != 0 {
+				return fmt.Errorf("accel: const node %s must not have args", n.Name)
+			}
+			if n.Const&^(uint64(1)<<uint(n.Width)-1) != 0 {
+				return fmt.Errorf("accel: const node %s: value %d does not fit %d bits", n.Name, n.Const, n.Width)
+			}
 		case NodeOp:
 			if len(n.Args) != 2 {
 				return fmt.Errorf("accel: op node %s needs 2 args", n.Name)
@@ -174,19 +202,72 @@ func (g *Graph) Validate() error {
 						n.Name, g.Nodes[a].Name, g.Nodes[a].Width, n.Op, n.Op.Width)
 				}
 			}
+			// EvalExact trusts the declared width when masking and Flatten
+			// sizes the instantiated bus by it, so it must be the true
+			// operation output width.
+			if n.Width != n.Op.OutWidth() {
+				return fmt.Errorf("accel: op node %s declares width %d, op %s produces %d",
+					n.Name, n.Width, n.Op, n.Op.OutWidth())
+			}
 		case NodeShiftL, NodeShiftR, NodeTrunc, NodeAbs, NodeClamp:
 			if len(n.Args) != 1 {
 				return fmt.Errorf("accel: node %s needs 1 arg", n.Name)
 			}
-		}
-		if n.Width < 1 || n.Width > 63 {
-			return fmt.Errorf("accel: node %s has width %d", n.Name, n.Width)
+			// The wiring nodes must declare the width the evaluation
+			// semantics actually produce; a lying width would let a value
+			// wider than declared flow into an operation node, where the
+			// exact software model (unmasked operands) and the flattened
+			// netlist (bus sliced to the declared width) would diverge.
+			argW := g.Nodes[n.Args[0]].Width
+			switch n.Kind {
+			case NodeShiftL:
+				if n.Shift < 0 || n.Width != argW+n.Shift {
+					return fmt.Errorf("accel: node %s: shl by %d of %d-bit arg must be %d bits, declared %d",
+						n.Name, n.Shift, argW, argW+n.Shift, n.Width)
+				}
+			case NodeShiftR:
+				want := argW - n.Shift
+				if want < 1 {
+					want = 1
+				}
+				if n.Shift < 0 || n.Width != want {
+					return fmt.Errorf("accel: node %s: shr by %d of %d-bit arg must be %d bits, declared %d",
+						n.Name, n.Shift, argW, want, n.Width)
+				}
+			case NodeAbs:
+				if n.Width != argW {
+					return fmt.Errorf("accel: node %s: abs keeps its %d-bit arg width, declared %d",
+						n.Name, argW, n.Width)
+				}
+			}
+		default:
+			return fmt.Errorf("accel: node %s has unknown kind %d", n.Name, n.Kind)
 		}
 	}
+	// Inputs must list exactly the NodeInput nodes in node order: EvalExact
+	// binds the k-th value of its input vector to the k-th NodeInput it
+	// encounters, so any other registration would silently misbind (missing
+	// registrations previously panicked inside EvalExact instead of failing
+	// validation here).
+	if len(g.Inputs) != len(inputs) {
+		return fmt.Errorf("accel: graph %s registers %d inputs but has %d input nodes",
+			g.Name, len(g.Inputs), len(inputs))
+	}
+	for i, id := range inputs {
+		if g.Inputs[i] != id {
+			return fmt.Errorf("accel: graph %s: Inputs[%d] is node %d, want input node %d (node order)",
+				g.Name, i, g.Inputs[i], id)
+		}
+	}
+	seenOut := make(map[int]bool, len(g.Outputs))
 	for _, o := range g.Outputs {
 		if o < 0 || o >= len(g.Nodes) {
 			return fmt.Errorf("accel: output id %d out of range", o)
 		}
+		if seenOut[o] {
+			return fmt.Errorf("accel: output id %d registered twice", o)
+		}
+		seenOut[o] = true
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package axserver
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -13,15 +14,32 @@ import (
 // canonical hash of the inputs that produced them (see acl.CanonicalKey),
 // so identical requests hit instead of recomputing.  Entries live in
 // memory and, when a directory is configured, on disk — a restarted server
-// warms from disk on first access.  Safe for concurrent use.
+// warms from disk on first access.  Concurrent identical computations are
+// coalesced (GetOrCompute), so N workers racing on the same key run the
+// build once.  Safe for concurrent use.
 type Cache struct {
 	dir string // "" = memory-only
 
 	mu  sync.RWMutex
 	mem map[string][]byte
 
-	hits   atomic.Int64
-	misses atomic.Int64
+	// flights tracks in-progress computations per key (singleflight).
+	fmu     sync.Mutex
+	flights map[string]*flight
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+}
+
+// flight is one in-progress computation; done is closed once b/err are
+// set, after which they are immutable.  waiters counts the callers parked
+// on done (observability for tests and future stats).
+type flight struct {
+	done    chan struct{}
+	waiters atomic.Int64
+	b       []byte
+	err     error
 }
 
 // NewCache returns a cache persisting under dir (created if missing), or a
@@ -32,7 +50,7 @@ func NewCache(dir string) (*Cache, error) {
 			return nil, fmt.Errorf("axserver: cache dir: %w", err)
 		}
 	}
-	return &Cache{dir: dir, mem: make(map[string][]byte)}, nil
+	return &Cache{dir: dir, mem: make(map[string][]byte), flights: make(map[string]*flight)}, nil
 }
 
 // path maps a namespaced key ("library/<hash>") to its on-disk file.  The
@@ -51,10 +69,9 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, enc+".json")
 }
 
-// Get returns the cached bytes for key.  A memory miss falls through to
-// disk and promotes the entry.  Hit/miss counters reflect the combined
-// lookup, not the tiers.
-func (c *Cache) Get(key string) ([]byte, bool) {
+// lookup returns the cached bytes for key without touching the counters.
+// A memory miss falls through to disk and promotes the entry.
+func (c *Cache) lookup(key string) ([]byte, bool) {
 	c.mu.RLock()
 	b, ok := c.mem[key]
 	c.mu.RUnlock()
@@ -66,6 +83,13 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 			b, ok = d, true
 		}
 	}
+	return b, ok
+}
+
+// Get returns the cached bytes for key.  Hit/miss counters reflect the
+// combined memory+disk lookup, not the tiers.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	b, ok := c.lookup(key)
 	if ok {
 		c.hits.Add(1)
 		return b, true
@@ -104,6 +128,75 @@ func (c *Cache) Put(key string, data []byte) error {
 	return nil
 }
 
+// GetOrCompute returns the bytes for key, computing and storing them on a
+// miss.  Concurrent callers for the same key are coalesced: one (the
+// leader) runs compute, the rest wait and share its result.  shared
+// reports whether the caller was served without running compute itself —
+// from the cache or from a coalesced in-flight computation.
+//
+// Failure is not shared: a waiter whose leader fails retries the whole
+// lookup and, if the key is still absent and idle, becomes the leader and
+// runs compute under its own ctx.  This keeps one job's cancellation from
+// failing every job coalesced behind it.  ctx only bounds the wait — the
+// leader's compute runs under whatever context compute itself captured.
+// Each call counts exactly once in the stats: a hit, a coalesced wait, or
+// (on becoming the leader) a miss — so the miss rate reflects actual
+// computations, not the number of callers that arrived during one.
+func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) (b []byte, shared bool, err error) {
+	for {
+		if b, ok := c.lookup(key); ok {
+			c.hits.Add(1)
+			return b, true, nil
+		}
+		c.fmu.Lock()
+		if f, ok := c.flights[key]; ok {
+			f.waiters.Add(1)
+			c.fmu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				c.coalesced.Add(1)
+				return f.b, true, nil
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.fmu.Unlock()
+		c.misses.Add(1)
+		b, err := c.lead(f, key, compute)
+		return b, false, err
+	}
+}
+
+// lead runs compute as the flight's leader and finalizes the flight no
+// matter how compute exits.  A panic is converted into the leader's error
+// — the flight must never leak half-open, or every future request for the
+// key would park on it forever.
+func (c *Cache) lead(f *flight, key string, compute func() ([]byte, error)) (b []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			b, err = nil, fmt.Errorf("axserver: computing %s panicked: %v", key, r)
+		}
+		f.b, f.err = b, err
+		c.fmu.Lock()
+		delete(c.flights, key)
+		c.fmu.Unlock()
+		close(f.done)
+	}()
+	b, err = compute()
+	if err == nil {
+		// Persistence is best-effort: the artifact lands in the memory
+		// tier unconditionally, so a full disk must not turn a finished
+		// computation into a failure.
+		_ = c.Put(key, b)
+	}
+	return b, err
+}
+
 // Delete removes an entry from memory and disk — used to self-heal when a
 // stored artifact turns out to be corrupt, so the next request recomputes
 // instead of failing forever on the poisoned key.
@@ -116,10 +209,16 @@ func (c *Cache) Delete(key string) {
 	}
 }
 
-// Stats returns the hit/miss counters and the in-memory entry count.
+// Stats returns the hit/miss/coalesced counters and the in-memory entry
+// count.
 func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
 	n := len(c.mem)
 	c.mu.RUnlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Entries:   n,
+	}
 }

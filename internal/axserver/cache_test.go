@@ -1,11 +1,15 @@
 package axserver
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestCacheMemory(t *testing.T) {
@@ -95,6 +99,219 @@ func TestCacheConcurrent(t *testing.T) {
 	wg.Wait()
 	if st := c.Stats(); st.Entries != 4 {
 		t.Fatalf("entries %d, want 4", st.Entries)
+	}
+}
+
+// TestGetOrComputeCoalesces checks that N concurrent identical lookups run
+// the computation exactly once: one leader computes, the others join its
+// flight and are counted as coalesced.
+func TestGetOrComputeCoalesces(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 7
+	var computes atomic.Int64
+	entered := make(chan struct{}) // closed once the leader is inside compute
+	release := make(chan struct{}) // holds the leader until all waiters joined
+	results := make(chan string, waiters+1)
+
+	go func() {
+		_, shared, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			computes.Add(1)
+			close(entered)
+			<-release
+			return []byte("v"), nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		if shared {
+			t.Error("leader reported shared=true")
+		}
+		results <- "leader"
+	}()
+	<-entered
+
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b, shared, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+				computes.Add(1)
+				return []byte("v"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			if !shared || string(b) != "v" {
+				t.Errorf("waiter got %q shared=%v", b, shared)
+			}
+			results <- "waiter"
+		}()
+	}
+	// Release the leader only once every waiter is registered on the
+	// flight (parked or about to park on done) — synchronizing on the
+	// flight's own waiter count, not on timing.
+	c.fmu.Lock()
+	f := c.flights["k"]
+	c.fmu.Unlock()
+	if f == nil {
+		t.Fatal("leader's flight not registered")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.waiters.Load() < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d waiters joined the flight", f.waiters.Load(), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	<-results
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Coalesced != waiters {
+		t.Fatalf("coalesced %d, want %d (stats %+v)", st.Coalesced, waiters, st)
+	}
+	// A later lookup is a plain cache hit, not a coalesced one.
+	if _, shared, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		t.Error("cache hit recomputed")
+		return nil, nil
+	}); err != nil || !shared {
+		t.Fatalf("warm lookup: shared=%v err=%v", shared, err)
+	}
+	if after := c.Stats(); after.Coalesced != st.Coalesced {
+		t.Errorf("plain hit was counted as coalesced")
+	}
+}
+
+// TestGetOrComputeLeaderFailureNotShared checks failure is not propagated
+// to coalesced waiters: a waiter whose leader fails retries and computes
+// under its own authority.
+func TestGetOrComputeLeaderFailureNotShared(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	leaderErr := errors.New("leader cancelled")
+
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			return nil, leaderErr
+		})
+		leaderDone <- err
+	}()
+	<-entered
+
+	waiterDone := make(chan error, 1)
+	var waiterComputed atomic.Bool
+	go func() {
+		b, shared, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			waiterComputed.Store(true)
+			return []byte("recovered"), nil
+		})
+		if err == nil && (shared || string(b) != "recovered") {
+			err = fmt.Errorf("waiter got %q shared=%v", b, shared)
+		}
+		waiterDone <- err
+	}()
+
+	// Let the waiter park on the flight, then fail the leader.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-leaderDone; !errors.Is(err, leaderErr) {
+		t.Fatalf("leader error %v, want %v", err, leaderErr)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter after leader failure: %v", err)
+	}
+	if !waiterComputed.Load() {
+		t.Fatal("waiter neither failed nor recomputed")
+	}
+}
+
+// TestGetOrComputePanicSafety checks a panicking compute cannot leak its
+// flight: the leader gets an error, and the key remains usable (no future
+// request parks forever on a dead flight).
+func TestGetOrComputePanicSafety(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+		panic("boom")
+	})
+	if err == nil {
+		t.Fatal("panicking compute returned no error")
+	}
+	// The flight must be gone...
+	c.fmu.Lock()
+	_, leaked := c.flights["k"]
+	c.fmu.Unlock()
+	if leaked {
+		t.Fatal("panicked flight leaked in the flights map")
+	}
+	// ...and the key must still compute normally, without hanging.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		b, shared, err := c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			return []byte("ok"), nil
+		})
+		if err != nil || shared || string(b) != "ok" {
+			t.Errorf("recovery compute: b=%q shared=%v err=%v", b, shared, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("request after panicked flight hung")
+	}
+}
+
+// TestGetOrComputeWaitCancellation checks a waiter abandons a stuck flight
+// when its own context is cancelled.
+func TestGetOrComputeWaitCancellation(t *testing.T) {
+	c, err := NewCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go func() {
+		_, _, _ = c.GetOrCompute(context.Background(), "k", func() ([]byte, error) {
+			close(entered)
+			<-release
+			return []byte("v"), nil
+		})
+	}()
+	<-entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.GetOrCompute(ctx, "k", func() ([]byte, error) { return nil, nil })
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never returned")
 	}
 }
 

@@ -6,13 +6,22 @@
 // /v1/jobs/{id} cancels a job — queued jobs immediately, running jobs at
 // their next pipeline-stage checkpoint via context cancellation.
 //
+// Accelerators are first-class request resources: evaluate and pipeline
+// requests name a built-in case study ("app") or carry an inline
+// wire-format accelerator graph ("accelerator", see accel.WireApp), so
+// the service is not limited to the paper's three workloads.
+//
 // Expensive artifacts are content-addressed: a library build is keyed by
-// the canonical hash of its (specs, seed, options) and a pipeline run by
-// the hash of its full request, so repeated identical requests are served
-// from an in-memory + on-disk cache without recomputation.  This is the
-// paper's central economics — the one-time cost of library construction
-// and model training amortized over many design queries — turned into a
-// service boundary.
+// the canonical hash of its (specs, seed, options), and evaluate/pipeline
+// results by the canonical hash of (library key, accelerator canonical
+// hash, remaining request).  The accelerator hash is name-invariant, so a
+// named app and its inline-serialized equivalent — or two structurally
+// identical custom graphs — share one cache entry.  Repeated identical
+// requests are served from an in-memory + on-disk cache without
+// recomputation, and concurrent identical requests coalesce onto a single
+// computation (singleflight).  This is the paper's central economics —
+// the one-time cost of library construction and model training amortized
+// over many design queries — turned into a service boundary.
 package axserver
 
 import (
@@ -245,13 +254,15 @@ func (r PipelineRequest) normalized() PipelineRequest {
 }
 
 // requestKey content-addresses a job request: the canonical hash of the
-// library's canonical key plus the rest of the request (with the library
-// field zeroed by the caller, so equivalent library descriptions collide).
-func requestKey(libKey string, rest any) (string, error) {
+// library's canonical key, the accelerator's canonical hash, and the rest
+// of the request (with the library and accelerator fields zeroed by the
+// caller, so equivalent spellings collide).
+func requestKey(libKey, appHash string, rest any) (string, error) {
 	b, err := json.Marshal(struct {
-		LibKey string `json:"libKey"`
-		Rest   any    `json:"rest"`
-	}{libKey, rest})
+		LibKey  string `json:"libKey"`
+		AppHash string `json:"appHash"`
+		Rest    any    `json:"rest"`
+	}{libKey, appHash, rest})
 	if err != nil {
 		return "", err
 	}
@@ -259,36 +270,24 @@ func requestKey(libKey string, rest any) (string, error) {
 }
 
 // resolveLibrary returns the library for a request, served from the cache
-// when an identical build exists.  On a miss the library is built (checking
-// ctx between circuit characterizations), stored under its canonical key,
-// and returned; cached reports which path ran.
+// when an identical build exists and coalesced with any identical build
+// already in flight.  On a miss the library is built (checking ctx between
+// circuit characterizations), stored under its canonical key, and
+// returned; cached reports whether a computation was avoided.
 func (s *Server) resolveLibrary(ctx context.Context, req LibraryRequest) (lib *acl.Library, key string, cached bool, err error) {
 	specs, seed, opts, err := req.buildInputs()
 	if err != nil {
 		return nil, "", false, err
 	}
 	key = acl.CanonicalKey(specs, seed, opts)
-	if b, ok := s.cache.Get(libraryKeyspace + key); ok {
-		lib, err := acl.LoadBytes(b)
-		if err == nil {
-			return lib, key, true, nil
-		}
-		// A corrupt artifact must not poison the key forever: drop it
-		// and rebuild.
-		s.cache.Delete(libraryKeyspace + key)
-	}
-	lib, err = acl.BuildContext(ctx, specs, seed, opts)
+	lib, cached, err = cachedArtifact(s, ctx, libraryKeyspace+key,
+		func() (*acl.Library, error) { return acl.BuildContext(ctx, specs, seed, opts) },
+		func(l *acl.Library) ([]byte, error) { return json.Marshal(l) },
+		acl.LoadBytes)
 	if err != nil {
 		return nil, "", false, err
 	}
-	b, err := json.Marshal(lib)
-	if err != nil {
-		return nil, "", false, err
-	}
-	// Persistence is best-effort: the artifact is already in the memory
-	// tier, so a full disk must not turn a finished build into a failure.
-	_ = s.cache.Put(libraryKeyspace+key, b)
-	return lib, key, false, nil
+	return lib, key, cached, nil
 }
 
 // LibraryBytes returns the serialized cached library for a canonical key.
@@ -344,6 +343,44 @@ func buildApp(name string, kernels int) (*accel.ImageApp, error) {
 	return appBuilders[name](normalizeKernels(name, kernels)), nil
 }
 
+// Inline-accelerator limits: a request-supplied graph is untrusted, so its
+// size is bounded before any evaluation work is queued.  The caps sit far
+// above the paper's case studies (≤ ~60 nodes, ≤ 50 simulations) while
+// keeping a single request from monopolizing a worker with an enormous
+// netlist or simulation sweep.
+const (
+	maxAccelNodes = 1024
+	maxAccelSims  = 64
+)
+
+// resolveAppRef materializes the accelerator a request addresses: exactly
+// one of name (a built-in case study) or spec (an inline wire-format
+// accelerator) must be set.  Inline specs are strictly validated —
+// structure, widths, input registration, window binding and size caps —
+// before they can reach a worker.
+func resolveAppRef(name string, kernels int, spec *accel.WireApp) (*accel.ImageApp, error) {
+	switch {
+	case spec != nil && name != "":
+		return nil, fmt.Errorf("request sets both app %q and an inline accelerator; use one", name)
+	case spec == nil && name == "":
+		return nil, fmt.Errorf("request needs an app name (sobel, fixedgf, genericgf) or an inline accelerator")
+	case spec != nil:
+		if n := len(spec.Graph.Nodes); n > maxAccelNodes {
+			return nil, fmt.Errorf("inline accelerator has %d nodes, limit is %d", n, maxAccelNodes)
+		}
+		if n := len(spec.Sims); n > maxAccelSims {
+			return nil, fmt.Errorf("inline accelerator has %d simulations, limit is %d", n, maxAccelSims)
+		}
+		app, err := spec.App()
+		if err != nil {
+			return nil, fmt.Errorf("inline accelerator: %w", err)
+		}
+		return app, nil
+	default:
+		return buildApp(name, kernels)
+	}
+}
+
 // Image-set limits: per-dimension bounds small enough that their product
 // cannot overflow int64, plus a total pixel budget (~28× the paper's full
 // 24-image 384×256 set) so a single job cannot exhaust memory.
@@ -391,10 +428,11 @@ const maxEvalConfigs = 10000
 
 // SubmitEvaluate enqueues a precise-evaluation job.
 func (s *Server) SubmitEvaluate(req EvaluateRequest) (JobInfo, error) {
-	if err := validateApp(req.App); err != nil {
+	if err := validateKernels(req.Kernels); err != nil {
 		return JobInfo{}, err
 	}
-	if err := validateKernels(req.Kernels); err != nil {
+	app, err := req.resolveApp()
+	if err != nil {
 		return JobInfo{}, err
 	}
 	if _, err := req.Library.Key(); err != nil {
@@ -414,48 +452,99 @@ func (s *Server) SubmitEvaluate(req EvaluateRequest) (JobInfo, error) {
 		return JobInfo{}, err
 	}
 	return s.submit("evaluate", func(ctx context.Context) (any, bool, error) {
-		return s.runEvaluate(ctx, req)
+		return s.runEvaluate(ctx, req, app)
 	})
+}
+
+// cachedArtifact is the shared content-addressed execution protocol: the
+// artifact for key is served from the cache when present, coalesced onto
+// an identical computation already in flight, or computed once and
+// stored.  A corrupt stored artifact is dropped and recomputed on a
+// second (final) round so it cannot poison the key forever.  shared
+// reports whether a computation was avoided.
+func cachedArtifact[T any](s *Server, ctx context.Context, key string,
+	compute func() (T, error),
+	encode func(T) ([]byte, error),
+	decode func([]byte) (T, error)) (out T, shared bool, err error) {
+	var zero T
+	for attempt := 0; attempt < 2; attempt++ {
+		var computed *T
+		b, shared, err := s.cache.GetOrCompute(ctx, key, func() ([]byte, error) {
+			res, err := compute()
+			if err != nil {
+				return nil, err
+			}
+			computed = &res
+			return encode(res)
+		})
+		if err != nil {
+			return zero, false, err
+		}
+		if computed != nil {
+			return *computed, false, nil
+		}
+		res, err := decode(b)
+		if err == nil {
+			return res, shared, nil
+		}
+		s.cache.Delete(key) // self-heal corrupt entries
+	}
+	return zero, false, fmt.Errorf("axserver: artifact %s: stored bytes corrupt after recompute", key)
+}
+
+// runCached adapts cachedArtifact to a job's (result, cached, error)
+// shape for JSON-encoded result payloads.
+func runCached[T any](s *Server, ctx context.Context, key string, compute func() (T, error)) (any, bool, error) {
+	res, cached, err := cachedArtifact(s, ctx, key, compute,
+		func(v T) ([]byte, error) { return json.Marshal(v) },
+		func(b []byte) (T, error) {
+			var v T
+			err := json.Unmarshal(b, &v)
+			return v, err
+		})
+	if err != nil {
+		return nil, false, err
+	}
+	return res, cached, nil
 }
 
 // runEvaluate executes an evaluate job: the configuration space is the
 // full (unreduced) library per operation node, indices in stored
 // area-sorted order.  Identical repeated requests are served from the
-// content-addressed result cache.
-func (s *Server) runEvaluate(ctx context.Context, req EvaluateRequest) (any, bool, error) {
+// content-addressed result cache; identical concurrent requests share one
+// computation.
+func (s *Server) runEvaluate(ctx context.Context, req EvaluateRequest, app *accel.ImageApp) (any, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
 	req = req.normalized()
-	resKey, err := evaluateKey(req)
+	resKey, err := evaluateKey(req, app)
 	if err != nil {
 		return nil, false, err
 	}
-	if b, ok := s.cache.Get(evaluateKeyspace + resKey); ok {
-		var res EvaluateResult
-		if err := json.Unmarshal(b, &res); err == nil {
-			return res, true, nil
-		}
-		s.cache.Delete(evaluateKeyspace + resKey) // self-heal corrupt entries
-	}
-	app, err := buildApp(req.App, req.Kernels)
-	if err != nil {
-		return nil, false, err
-	}
+	return runCached(s, ctx, evaluateKeyspace+resKey, func() (EvaluateResult, error) {
+		return s.computeEvaluate(ctx, req, app)
+	})
+}
+
+// computeEvaluate performs the actual evaluation work of runEvaluate over
+// the request's resolved accelerator.
+func (s *Server) computeEvaluate(ctx context.Context, req EvaluateRequest, app *accel.ImageApp) (EvaluateResult, error) {
+	var zero EvaluateResult
 	images, err := buildImages(req.Images)
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	lib, key, _, err := s.resolveLibrary(ctx, req.Library)
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	ev, err := accel.NewEvaluator(app, images)
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	ops := app.Graph.OpNodes()
 	space := make(dse.Space, len(ops))
@@ -463,67 +552,80 @@ func (s *Server) runEvaluate(ctx context.Context, req EvaluateRequest) (any, boo
 		op := app.Graph.Nodes[id].Op
 		space[i] = lib.For(op)
 		if len(space[i]) == 0 {
-			return nil, false, fmt.Errorf("library %s has no circuits for %s", key, op)
+			return zero, fmt.Errorf("library %s has no circuits for %s", key, op)
 		}
 	}
 	for ci, cfg := range req.Configs {
 		if len(cfg) != len(space) {
-			return nil, false, fmt.Errorf("config %d has %d indices, app %s has %d operations",
-				ci, len(cfg), req.App, len(space))
+			return zero, fmt.Errorf("config %d has %d indices, app %s has %d operations",
+				ci, len(cfg), app.Name, len(space))
 		}
 		for i, idx := range cfg {
 			if idx < 0 || idx >= len(space[i]) {
-				return nil, false, fmt.Errorf("config %d: index %d out of range for operation %d (%d circuits)",
+				return zero, fmt.Errorf("config %d: index %d out of range for operation %d (%d circuits)",
 					ci, idx, i, len(space[i]))
 			}
 		}
 	}
 	res, err := dse.EvaluateAllParallel(ctx, ev, space, req.Configs, s.evalParallelism(req.Parallelism))
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	out := make([]EvalResult, len(res))
 	for i, r := range res {
 		out[i] = EvalResult{SSIM: r.SSIM, Area: r.Area, Delay: r.Delay,
 			Power: r.Power, Energy: r.Energy, Gates: r.Gates}
 	}
-	result := EvaluateResult{LibraryKey: key, Results: out}
-	if b, err := json.Marshal(result); err == nil {
-		_ = s.cache.Put(evaluateKeyspace+resKey, b) // best-effort persistence
-	}
-	return result, false, nil
+	return EvaluateResult{LibraryKey: key, Results: out}, nil
+}
+
+// resolveApp materializes the accelerator an evaluate request addresses.
+func (r EvaluateRequest) resolveApp() (*accel.ImageApp, error) {
+	return resolveAppRef(r.App, r.Kernels, r.Accelerator)
+}
+
+// resolveApp materializes the accelerator a pipeline request addresses.
+func (r PipelineRequest) resolveApp() (*accel.ImageApp, error) {
+	return resolveAppRef(r.App, r.Kernels, r.Accelerator)
 }
 
 // pipelineKey content-addresses a full pipeline request after defaulting.
-func pipelineKey(req PipelineRequest) (string, error) {
+// The accelerator — named or inline — is represented by the canonical
+// hash of app (the request's accelerator, materialized once by the
+// caller), so equivalent descriptions share one cache entry.
+func pipelineKey(req PipelineRequest, app *accel.ImageApp) (string, error) {
 	libKey, err := req.Library.Key()
 	if err != nil {
 		return "", err
 	}
 	canon := req.normalized()
-	canon.Library = LibraryRequest{} // represented by its canonical key
-	canon.Parallelism = 0            // execution knob: same results at any setting
-	return requestKey(libKey, canon)
+	canon.Library = LibraryRequest{}                         // represented by its canonical key
+	canon.App, canon.Kernels, canon.Accelerator = "", 0, nil // represented by the canonical app hash
+	canon.Parallelism = 0                                    // execution knob: same results at any setting
+	return requestKey(libKey, app.CanonicalHash(), canon)
 }
 
-// evaluateKey content-addresses a full evaluate request after defaulting.
-func evaluateKey(req EvaluateRequest) (string, error) {
+// evaluateKey content-addresses a full evaluate request after defaulting;
+// see pipelineKey for the accelerator-hash folding.
+func evaluateKey(req EvaluateRequest, app *accel.ImageApp) (string, error) {
 	libKey, err := req.Library.Key()
 	if err != nil {
 		return "", err
 	}
 	canon := req.normalized()
-	canon.Library = LibraryRequest{} // represented by its canonical key
-	canon.Parallelism = 0            // execution knob: same results at any setting
-	return requestKey(libKey, canon)
+	canon.Library = LibraryRequest{}
+	canon.App, canon.Kernels, canon.Accelerator = "", 0, nil
+	canon.Parallelism = 0
+	return requestKey(libKey, app.CanonicalHash(), canon)
 }
 
 // SubmitPipeline enqueues a full methodology run.
 func (s *Server) SubmitPipeline(req PipelineRequest) (JobInfo, error) {
-	if err := validateApp(req.App); err != nil {
+	if err := validateKernels(req.Kernels); err != nil {
 		return JobInfo{}, err
 	}
-	if err := validateKernels(req.Kernels); err != nil {
+	app, err := req.resolveApp()
+	if err != nil {
 		return JobInfo{}, err
 	}
 	if req.Engine != "" {
@@ -537,49 +639,48 @@ func (s *Server) SubmitPipeline(req PipelineRequest) (JobInfo, error) {
 	if err := validateParallelism(req.Parallelism); err != nil {
 		return JobInfo{}, err
 	}
-	if _, err := pipelineKey(req); err != nil {
+	if _, err := pipelineKey(req, app); err != nil {
 		return JobInfo{}, err
 	}
 	return s.submit("pipeline", func(ctx context.Context) (any, bool, error) {
-		return s.runPipeline(ctx, req)
+		return s.runPipeline(ctx, req, app)
 	})
 }
 
 // runPipeline executes a pipeline job, serving identical repeated requests
-// from the content-addressed cache.
-func (s *Server) runPipeline(ctx context.Context, req PipelineRequest) (any, bool, error) {
+// from the content-addressed cache and coalescing identical concurrent
+// requests onto one computation.
+func (s *Server) runPipeline(ctx context.Context, req PipelineRequest, app *accel.ImageApp) (any, bool, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
 	}
 	req = req.normalized()
-	key, err := pipelineKey(req)
+	key, err := pipelineKey(req, app)
 	if err != nil {
 		return nil, false, err
 	}
-	if b, ok := s.cache.Get(pipelineKeyspace + key); ok {
-		var res PipelineResult
-		if err := json.Unmarshal(b, &res); err == nil {
-			return res, true, nil
-		}
-		s.cache.Delete(pipelineKeyspace + key) // self-heal corrupt entries
-	}
-	app, err := buildApp(req.App, req.Kernels)
-	if err != nil {
-		return nil, false, err
-	}
+	return runCached(s, ctx, pipelineKeyspace+key, func() (PipelineResult, error) {
+		return s.computePipeline(ctx, req, app)
+	})
+}
+
+// computePipeline performs the actual methodology run of runPipeline over
+// the request's resolved accelerator.
+func (s *Server) computePipeline(ctx context.Context, req PipelineRequest, app *accel.ImageApp) (PipelineResult, error) {
+	var zero PipelineResult
 	images, err := buildImages(req.Images)
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	lib, libKey, _, err := s.resolveLibrary(ctx, req.Library)
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	// normalized() has already applied core.DefaultConfig's defaulting, so
 	// every field maps straight across.
 	spec, err := ml.EngineByName(req.Engine)
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	cfg := core.Config{
 		TrainConfigs: req.TrainConfigs,
@@ -593,10 +694,10 @@ func (s *Server) runPipeline(ctx context.Context, req PipelineRequest) (any, boo
 	}
 	pipe, err := core.NewPipeline(app, lib, images, cfg)
 	if err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	if err := pipe.RunContext(ctx); err != nil {
-		return nil, false, err
+		return zero, err
 	}
 	cfgs, results := pipe.FrontResults()
 	front := make([]FrontEntry, len(cfgs))
@@ -604,16 +705,12 @@ func (s *Server) runPipeline(ctx context.Context, req PipelineRequest) (any, boo
 		front[i] = FrontEntry{Config: c, SSIM: results[i].SSIM,
 			Area: results[i].Area, Energy: results[i].Energy}
 	}
-	res := PipelineResult{
+	return PipelineResult{
 		LibraryKey:   libKey,
 		SpaceConfigs: pipe.Space.NumConfigs(),
 		QoRFidelity:  pipe.QoRFidelity,
 		HWFidelity:   pipe.HWFidelity,
 		Engine:       pipe.Opt.Engine.Name,
 		Front:        front,
-	}
-	if b, err := json.Marshal(res); err == nil {
-		_ = s.cache.Put(pipelineKeyspace+key, b) // best-effort persistence
-	}
-	return res, false, nil
+	}, nil
 }

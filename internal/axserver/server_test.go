@@ -3,6 +3,7 @@ package axserver
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -10,7 +11,9 @@ import (
 	"testing"
 	"time"
 
+	"autoax/internal/accel"
 	"autoax/internal/acl"
+	"autoax/internal/apps"
 	"autoax/internal/pmf"
 )
 
@@ -733,6 +736,245 @@ func TestCorruptCacheSelfHeals(t *testing.T) {
 	}
 	if again := waitJob(t, ts.URL, job.ID); again.State != JobSucceeded || !again.Cached {
 		t.Fatalf("healed key not cached: state %s cached %v", again.State, again.Cached)
+	}
+}
+
+// inlineSobel serializes the built-in Sobel case study into its wire form,
+// optionally renaming everything to prove content-addressing is
+// name-invariant.
+func inlineSobel(t *testing.T, rename bool) *accel.WireApp {
+	t.Helper()
+	app := apps.Sobel()
+	if rename {
+		app.Name = "my-custom-detector"
+		app.Graph.Name = "my-custom-graph"
+		for i := range app.Graph.Nodes {
+			app.Graph.Nodes[i].Name = fmt.Sprintf("n%d", i)
+		}
+	}
+	w, err := app.Wire()
+	if err != nil {
+		t.Fatalf("wire sobel: %v", err)
+	}
+	return w
+}
+
+// keyOfPipeline resolves a request's accelerator and content-addresses it,
+// as the submit path does.
+func keyOfPipeline(t *testing.T, req PipelineRequest) string {
+	t.Helper()
+	app, err := req.resolveApp()
+	if err != nil {
+		t.Fatalf("resolveApp: %v", err)
+	}
+	k, err := pipelineKey(req, app)
+	if err != nil {
+		t.Fatalf("pipelineKey: %v", err)
+	}
+	return k
+}
+
+// TestInlineAcceleratorKeyMatchesNamedApp checks the acceptance criterion
+// that {"app":"sobel"} and the inline-serialized Sobel graph content-hash
+// to the same cache key — even when the inline copy renames every node.
+func TestInlineAcceleratorKeyMatchesNamedApp(t *testing.T) {
+	named := tinyPipeline(3)
+	inline := tinyPipeline(3)
+	inline.App = ""
+	inline.Accelerator = inlineSobel(t, true)
+
+	kNamed := keyOfPipeline(t, named)
+	kInline := keyOfPipeline(t, inline)
+	if kNamed != kInline {
+		t.Fatalf("named and inline-equivalent pipeline requests hash differently:\n%s\n%s", kNamed, kInline)
+	}
+
+	eNamed := EvaluateRequest{App: "sobel", Library: tinyLibrary(1),
+		Images: ImageSpec{Count: 2, Width: 32, Height: 24, Seed: 5}, Configs: [][]int{{0, 0, 0, 0, 0}}}
+	eInline := eNamed
+	eInline.App = ""
+	eInline.Accelerator = inlineSobel(t, true)
+	keyOfEvaluate := func(req EvaluateRequest) string {
+		app, err := req.resolveApp()
+		if err != nil {
+			t.Fatalf("resolveApp: %v", err)
+		}
+		k, err := evaluateKey(req, app)
+		if err != nil {
+			t.Fatalf("evaluateKey: %v", err)
+		}
+		return k
+	}
+	if keyOfEvaluate(eNamed) != keyOfEvaluate(eInline) {
+		t.Fatalf("named and inline-equivalent evaluate requests hash differently")
+	}
+
+	// A structurally different accelerator must not collide.
+	other := tinyPipeline(3)
+	other.App = ""
+	other.Accelerator = inlineSobel(t, false)
+	other.Accelerator.Taps[0] = accel.WindowTap{DX: 0, DY: 0}
+	if keyOfPipeline(t, other) == kNamed {
+		t.Fatalf("structurally different accelerators share a cache key")
+	}
+}
+
+// TestInlineAcceleratorPipeline drives a custom wire-format accelerator
+// through POST /v1/pipelines end-to-end and checks a named submission of
+// the equivalent app is then served from the shared cache entry.
+func TestInlineAcceleratorPipeline(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	req := tinyPipeline(11)
+	req.App = ""
+	req.Accelerator = inlineSobel(t, true)
+
+	var job JobInfo
+	if code := postJSON(t, ts.URL+"/v1/pipelines", req, &job); code != http.StatusAccepted {
+		t.Fatalf("submit inline pipeline: status %d", code)
+	}
+	first := waitJob(t, ts.URL, job.ID)
+	if first.State != JobSucceeded {
+		t.Fatalf("inline pipeline: state %s, error %q", first.State, first.Error)
+	}
+	var res PipelineResult
+	if err := json.Unmarshal(first.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatalf("inline pipeline produced an empty front")
+	}
+
+	// The equivalent *named* request must be a cache hit with an identical
+	// payload: the accelerator hash, not the spelling, addresses the entry.
+	named := tinyPipeline(11)
+	var second JobInfo
+	if code := postJSON(t, ts.URL+"/v1/pipelines", named, &second); code != http.StatusAccepted {
+		t.Fatalf("submit named pipeline: status %d", code)
+	}
+	hit := waitJob(t, ts.URL, second.ID)
+	if hit.State != JobSucceeded {
+		t.Fatalf("named pipeline: state %s, error %q", hit.State, hit.Error)
+	}
+	if !hit.Cached {
+		t.Errorf("named submission of an already-computed inline accelerator was recomputed")
+	}
+	if string(hit.Result) != string(first.Result) {
+		t.Errorf("named and inline results differ")
+	}
+}
+
+// TestInlineAcceleratorValidation checks malformed accelerator submissions
+// are rejected at the HTTP boundary, before any job is queued.
+func TestInlineAcceleratorValidation(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	images := ImageSpec{Count: 1, Width: 32, Height: 24}
+
+	var e errorBody
+	// Both app and accelerator.
+	both := tinyPipeline(1)
+	both.Accelerator = inlineSobel(t, false)
+	if code := postJSON(t, ts.URL+"/v1/pipelines", both, &e); code != http.StatusBadRequest {
+		t.Errorf("app+accelerator: status %d, want 400", code)
+	}
+	// Neither.
+	neither := tinyPipeline(1)
+	neither.App = ""
+	if code := postJSON(t, ts.URL+"/v1/pipelines", neither, &e); code != http.StatusBadRequest {
+		t.Errorf("no app, no accelerator: status %d, want 400", code)
+	}
+	// Structurally broken graph: an op node declaring a width its operation
+	// does not produce must be rejected before it can reach a worker.
+	bad := inlineSobel(t, false)
+	for i := range bad.Graph.Nodes {
+		if bad.Graph.Nodes[i].Kind == "op" {
+			bad.Graph.Nodes[i].Width++
+			break
+		}
+	}
+	badReq := PipelineRequest{Accelerator: bad, Library: tinyLibrary(1), Images: images}
+	if code := postJSON(t, ts.URL+"/v1/pipelines", badReq, &e); code != http.StatusBadRequest {
+		t.Errorf("inconsistent widths: status %d, want 400", code)
+	}
+	unknownKind := inlineSobel(t, false)
+	unknownKind.Graph.Nodes[0].Kind = "xor"
+	if code := postJSON(t, ts.URL+"/v1/evaluate",
+		EvaluateRequest{Accelerator: unknownKind, Library: tinyLibrary(1), Images: images,
+			Configs: [][]int{{0, 0, 0, 0, 0}}}, &e); code != http.StatusBadRequest {
+		t.Errorf("unknown node kind: status %d, want 400", code)
+	}
+	// Unknown JSON fields inside the accelerator payload are rejected by
+	// the strict request decoder.
+	raw := []byte(`{"accelerator":{"version":1,"graph":{"nodes":[],"outputs":[]},"taps":[],"sims":[[]],"bogus":1},` +
+		`"library":{"specs":[{"op":"add8","count":2}],"seed":1},"images":{"count":1,"width":32,"height":24}}`)
+	resp, err := http.Post(ts.URL+"/v1/pipelines", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown accelerator field: status %d, want 400", resp.StatusCode)
+	}
+	// Oversized inline graphs are bounded.
+	huge := inlineSobel(t, false)
+	for len(huge.Graph.Nodes) <= maxAccelNodes {
+		huge.Graph.Nodes = append(huge.Graph.Nodes, huge.Graph.Nodes...)
+	}
+	if code := postJSON(t, ts.URL+"/v1/pipelines",
+		PipelineRequest{Accelerator: huge, Library: tinyLibrary(1), Images: images}, &e); code != http.StatusBadRequest {
+		t.Errorf("oversized accelerator: status %d, want 400", code)
+	}
+}
+
+// TestConcurrentIdenticalLibrariesCoalesce submits the same library build
+// on several workers at once and checks only one build actually ran — the
+// rest coalesced onto it (or hit the cache it filled).
+func TestConcurrentIdenticalLibrariesCoalesce(t *testing.T) {
+	const n = 4
+	s, ts := testServer(t, Options{Workers: n})
+
+	req := LibraryRequest{
+		Specs: []SpecRequest{{Op: "add10", Count: 60}, {Op: "mul6", Count: 60}},
+		Seed:  9,
+	}
+	jobs := make([]JobInfo, n)
+	for i := range jobs {
+		if code := postJSON(t, ts.URL+"/v1/libraries", req, &jobs[i]); code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+	}
+	var fresh int
+	var key string
+	for i := range jobs {
+		r := waitJob(t, ts.URL, jobs[i].ID)
+		if r.State != JobSucceeded {
+			t.Fatalf("job %d: state %s, error %q", i, r.State, r.Error)
+		}
+		var lr LibraryResult
+		if err := json.Unmarshal(r.Result, &lr); err != nil {
+			t.Fatalf("job %d: decode: %v", i, err)
+		}
+		if key == "" {
+			key = lr.Key
+		} else if lr.Key != key {
+			t.Fatalf("job %d returned key %s, want %s", i, lr.Key, key)
+		}
+		if !r.Cached {
+			fresh++
+		}
+	}
+	if fresh != 1 {
+		t.Errorf("%d of %d identical concurrent builds ran fresh, want exactly 1", fresh, n)
+	}
+	st := s.CacheStats()
+	if st.Coalesced == 0 {
+		// Jobs may serialize if workers pick them up far apart; with n
+		// back-to-back submissions on n workers at least one should have
+		// coalesced.  Treat zero as a failure only when no cache hit
+		// covered it either.
+		if st.Hits == 0 {
+			t.Errorf("no coalescing and no cache hits across identical concurrent builds: %+v", st)
+		}
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"autoax/internal/accel"
 	"autoax/internal/acl"
 )
 
@@ -107,15 +108,23 @@ func (s ImageSpec) normalized() ImageSpec {
 }
 
 // EvaluateRequest asks for precise (simulation + synthesis) evaluation of
-// explicit configurations of one case-study accelerator.  Configuration
-// indices select circuits from the library's per-operation lists in their
-// stored (area-sorted) order, one index per operation node of the app.
+// explicit configurations of one accelerator — a named case study (App) or
+// an inline wire-format accelerator (Accelerator); exactly one must be
+// set.  Configuration indices select circuits from the library's
+// per-operation lists in their stored (area-sorted) order, one index per
+// operation node of the app.
 type EvaluateRequest struct {
-	App     string         `json:"app"`               // sobel | fixedgf | genericgf
-	Kernels int            `json:"kernels,omitempty"` // genericgf coefficient sets (default 2)
-	Library LibraryRequest `json:"library"`
-	Images  ImageSpec      `json:"images"`
-	Configs [][]int        `json:"configs"`
+	// App names a built-in case study: sobel | fixedgf | genericgf.
+	App     string `json:"app,omitempty"`
+	Kernels int    `json:"kernels,omitempty"` // genericgf coefficient sets (default 2)
+	// Accelerator is an inline accelerator in the accel wire format
+	// (version, graph, taps, sims) — see accel.WireApp.  Structurally
+	// identical accelerators are content-addressed identically, so an
+	// inline copy of a named case study shares its cache entries.
+	Accelerator *accel.WireApp `json:"accelerator,omitempty"`
+	Library     LibraryRequest `json:"library"`
+	Images      ImageSpec      `json:"images"`
+	Configs     [][]int        `json:"configs"`
 	// Parallelism bounds the per-shard evaluator workers used inside this
 	// job (0 = the server's default, itself defaulting to GOMAXPROCS; 1 =
 	// sequential).  An execution knob only: results are identical at every
@@ -141,13 +150,17 @@ type EvaluateResult struct {
 }
 
 // PipelineRequest asks for one full methodology run (Steps 1–3) of the
-// autoAx flow on a case-study accelerator.  Zero budget fields take the
-// core defaults.
+// autoAx flow on an accelerator — a named case study (App) or an inline
+// wire-format accelerator (Accelerator); exactly one must be set.  Zero
+// budget fields take the core defaults.
 type PipelineRequest struct {
-	App     string         `json:"app"`
-	Kernels int            `json:"kernels,omitempty"`
-	Library LibraryRequest `json:"library"`
-	Images  ImageSpec      `json:"images"`
+	App     string `json:"app,omitempty"`
+	Kernels int    `json:"kernels,omitempty"`
+	// Accelerator is an inline accelerator in the accel wire format; see
+	// EvaluateRequest.Accelerator.
+	Accelerator *accel.WireApp `json:"accelerator,omitempty"`
+	Library     LibraryRequest `json:"library"`
+	Images      ImageSpec      `json:"images"`
 
 	TrainConfigs int    `json:"trainConfigs,omitempty"`
 	TestConfigs  int    `json:"testConfigs,omitempty"`
@@ -208,8 +221,9 @@ type JobInfo struct {
 	Created time.Time `json:"created"`
 	Started time.Time `json:"started,omitzero"`
 	Ended   time.Time `json:"ended,omitzero"`
-	// Cached marks a job whose result was served from the content-
-	// addressed cache without recomputation.
+	// Cached marks a job whose result was served without recomputation:
+	// from the content-addressed cache, or by coalescing onto an
+	// identical computation that was already in flight.
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
 	// Result is the kind-specific payload (LibraryResult, EvaluateResult
@@ -234,9 +248,13 @@ type CancelResponse struct {
 
 // CacheStats reports content-addressed cache effectiveness.
 type CacheStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Coalesced counts requests that joined a concurrent identical
+	// computation already in flight (singleflight) instead of recomputing
+	// or racing to fill the cache.
+	Coalesced int64 `json:"coalesced"`
+	Entries   int   `json:"entries"`
 }
 
 // Stats is the payload of GET /v1/stats.
