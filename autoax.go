@@ -19,12 +19,17 @@
 //
 // Subsystem map (all under internal/, surfaced through this facade):
 //
-//	netlist, cell      gate-level IR, bit-parallel simulation, synthesis-
-//	                   style optimization, 45 nm cost model
+//	netlist, cell      gate-level IR, compiled bit-parallel simulation
+//	                   (netlist→program lowering, multi-word batched
+//	                   evaluation), synthesis-style optimization, 45 nm
+//	                   cost model
 //	arith, approxgen   exact and approximate circuit generators
 //	acl, pmf           component library, characterization, WMED scoring
 //	accel, apps        accelerator graphs, the three case studies
-//	ml, mat            the 13 regression engines of Table 3
+//	ml, mat            the 13 regression engines of Table 3; random
+//	                   forests fit in parallel (bit-identical to
+//	                   sequential) and flatten into a compiled node arena
+//	                   for zero-allocation estimation
 //	dse, pareto        Algorithm 1, baselines, Pareto utilities
 //	core               the three-step methodology pipeline
 //	expt               drivers regenerating every paper table and figure

@@ -100,6 +100,26 @@ func BenchmarkNetlistEval(b *testing.B) {
 	}
 }
 
+// BenchmarkNetlistEvalBlock measures block-packed compiled simulation:
+// one call evaluates netlist.BlockWords×64 input vectors through the
+// compiled exact 8×8 Dadda multiplier (compare per-vector cost against
+// BenchmarkNetlistEval).
+func BenchmarkNetlistEvalBlock(b *testing.B) {
+	nl := arith.NewDaddaMultiplier(8)
+	prog := netlist.Compile(nl)
+	const W = netlist.BlockWords
+	in := make([]uint64, nl.NumInputs*W)
+	for i := range in {
+		in[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	scratch := make([]uint64, prog.NumSlots()*W)
+	out := make([]uint64, prog.NumOutputs()*W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.EvalBlock(in, W, scratch, out)
+	}
+}
+
 // BenchmarkSimplify measures the synthesis-style optimization pass on a
 // flattened Sobel accelerator (the per-configuration synthesis cost).
 func BenchmarkSimplify(b *testing.B) {
@@ -261,6 +281,38 @@ func BenchmarkRandomForestFit(b *testing.B) {
 		if err := rf.Fit(x, y); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCompiledForestPredict measures one flattened-arena forest
+// query — the substrate under BenchmarkModelEstimate's two model calls.
+func BenchmarkCompiledForestPredict(b *testing.B) {
+	x := make([][]float64, 500)
+	y := make([]float64, len(x))
+	rng := uint64(1)
+	next := func() float64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return float64(rng>>40) / float64(1<<24)
+	}
+	for i := range x {
+		row := make([]float64, 5)
+		s := 0.0
+		for j := range row {
+			row[j] = next() * 100
+			s += row[j]
+		}
+		x[i] = row
+		y[i] = 1 / (1 + s/100)
+	}
+	rf := ml.NewRandomForest(100, 1)
+	if err := rf.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	cf := rf.Compile()
+	probe := []float64{10, 20, 30, 40, 50}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.Predict(probe)
 	}
 }
 

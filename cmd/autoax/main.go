@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -171,6 +172,7 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "directory for the content-addressed artifact cache (empty = memory only)")
 	evalParallel := fs.Int("eval-parallel", 0, "default per-job precise-evaluation workers for requests that leave parallelism unset (0 = divide cores across the worker pool)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -178,6 +180,25 @@ func runServe(args []string) error {
 	srv, err := axserver.New(axserver.Options{Workers: *workers, CacheDir: *cacheDir, EvalParallelism: *evalParallel})
 	if err != nil {
 		return err
+	}
+
+	// The profiling endpoint listens on its own address and mux so the
+	// job API never exposes pprof, and only when explicitly requested.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: mux}
+		defer pprofSrv.Close()
+		go func() {
+			fmt.Fprintf(os.Stderr, "autoax serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "autoax serve: pprof listener: %v\n", err)
+			}
+		}()
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -477,6 +498,7 @@ commands:
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
   serve [-addr :8080] [-workers N] [-cache-dir DIR] [-eval-parallel N]
+        [-pprof ADDR]
                                         run the asynchronous HTTP job service
   version                               print the version
 

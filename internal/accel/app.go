@@ -62,26 +62,50 @@ func (app *ImageApp) Validate() error {
 	return nil
 }
 
-// inputVector fills dst with the exact-model inputs for pixel (x, y) of im
-// under simulation sim.
-func (app *ImageApp) inputVector(im *imagedata.Image, sim []uint64, x, y int, dst []uint64) {
+// fillLanes loads the input-node rows of a gprog value buffer with the
+// window pixels (and broadcast simulation values) for pixels
+// [base, base+lanes) of im in row-major order.
+func (app *ImageApp) fillLanes(gp *gprog, vals []uint64, im *imagedata.Image, sim []uint64, base, lanes int) {
 	for t, tap := range app.Taps {
-		dst[t] = uint64(im.AtClamped(x+tap.DX, y+tap.DY))
+		row := vals[app.Graph.Inputs[t]*gprogLanes:][:lanes]
+		for l := range row {
+			p := base + l
+			row[l] = uint64(im.AtClamped(p%im.W+tap.DX, p/im.W+tap.DY))
+		}
 	}
-	copy(dst[len(app.Taps):], sim)
+	for xi, id := range app.Graph.Inputs[len(app.Taps):] {
+		v := sim[xi] & gp.mask[id]
+		row := vals[id*gprogLanes:][:lanes]
+		for l := range row {
+			row[l] = v
+		}
+	}
 }
 
 // ExactOutput runs the exact software model over one image for one
-// simulation, producing the reference output image.
+// simulation, producing the reference output image.  It evaluates through
+// the compiled graph program, 64 pixels per node-decode pass.
 func (app *ImageApp) ExactOutput(im *imagedata.Image, sim []uint64) *imagedata.Image {
+	gp := compileGraph(app.Graph)
+	return app.exactOutput(gp, make([]uint64, gp.numVals()), im, sim)
+}
+
+// exactOutput is ExactOutput over a prepared program and value buffer
+// (constant rows need not be initialized; they are set here).
+func (app *ImageApp) exactOutput(gp *gprog, vals []uint64, im *imagedata.Image, sim []uint64) *imagedata.Image {
+	gp.setConsts(vals)
 	out := imagedata.New(im.W, im.H)
-	in := make([]uint64, len(app.Graph.Inputs))
-	scratch := make([]uint64, len(app.Graph.Nodes))
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			app.inputVector(im, sim, x, y, in)
-			r := app.Graph.evalExact(in, scratch, nil)
-			out.Set(x, y, uint8(r[0]))
+	outRow := vals[app.Graph.Outputs[0]*gprogLanes:]
+	total := im.W * im.H
+	for base := 0; base < total; base += gprogLanes {
+		lanes := total - base
+		if lanes > gprogLanes {
+			lanes = gprogLanes
+		}
+		app.fillLanes(gp, vals, im, sim, base, lanes)
+		gp.evalLanes(vals, lanes, nil)
+		for l := 0; l < lanes; l++ {
+			out.Pix[base+l] = uint8(outRow[l])
 		}
 	}
 	return out
@@ -97,18 +121,22 @@ func (app *ImageApp) Profile(images []*imagedata.Image) []*pmf.PMF {
 		w := app.Graph.Nodes[id].Op.Width
 		pmfs[i] = pmf.New(w, w)
 	}
-	in := make([]uint64, len(app.Graph.Inputs))
-	scratch := make([]uint64, len(app.Graph.Nodes))
+	gp := compileGraph(app.Graph)
+	vals := make([]uint64, gp.numVals())
+	gp.setConsts(vals)
 	trace := func(opIdx int, a, b uint64) {
 		pmfs[opIdx].Add(a, b, 1)
 	}
 	for _, sim := range app.Sims {
 		for _, im := range images {
-			for y := 0; y < im.H; y++ {
-				for x := 0; x < im.W; x++ {
-					app.inputVector(im, sim, x, y, in)
-					app.Graph.evalExact(in, scratch, trace)
+			total := im.W * im.H
+			for base := 0; base < total; base += gprogLanes {
+				lanes := total - base
+				if lanes > gprogLanes {
+					lanes = gprogLanes
 				}
+				app.fillLanes(gp, vals, im, sim, base, lanes)
+				gp.evalLanes(vals, lanes, trace)
 			}
 		}
 	}
@@ -130,16 +158,22 @@ type Result struct {
 	Gates  int
 }
 
+// evalBlockWords is the packed block width of the precise evaluator:
+// every compiled-program pass evaluates evalBlockWords×64 pixels.
+const evalBlockWords = netlist.BlockWords
+
 // evalShared is the Evaluator state that is immutable once NewEvaluator
-// returns: the exact reference outputs and the packed input bit-planes.
-// Every Clone of an Evaluator shares one evalShared, which is what makes
-// clones cheap and concurrent evaluation safe — nothing here is ever
-// written after construction.
+// returns: the compiled exact-model graph program, the exact reference
+// outputs and the block-packed input bit-planes.  Every Clone of an
+// Evaluator shares one evalShared, which is what makes clones cheap and
+// concurrent evaluation safe — nothing here is ever written after
+// construction (the compiled programs are read-only by design).
 type evalShared struct {
+	gp        *gprog               // compiled exact model (read-only)
 	exact     [][]*imagedata.Image // [sim][image]
-	planes    [][][]uint64         // [image][batch][tapBitPlane]
-	laneCount [][]int              // [image][batch]
-	simPlanes [][]uint64           // [sim][extraBitPlane] broadcast words
+	planes    [][][]uint64         // [image][block][tapBitPlane×words]
+	laneCount [][]int              // [image][block], ≤ evalBlockWords×64
+	simPlanes [][]uint64           // [sim][extraBitPlane×words] broadcast
 
 	headBits int // number of tap bit-planes
 }
@@ -159,8 +193,10 @@ type Evaluator struct {
 	shared *evalShared
 
 	// Per-evaluator scratch, owned exclusively; never shared with clones.
-	inBuf   []uint64
-	outVals [64]uint64
+	inBuf       []uint64                    // block-packed program inputs
+	outVals     [evalBlockWords * 64]uint64 // unpacked output lanes
+	progScratch []uint64                    // compiled-program value slots
+	progOut     []uint64                    // compiled-program outputs
 
 	// ActivityBatches bounds the batches used for switching-activity
 	// estimation when computing power/energy.
@@ -181,6 +217,8 @@ type Evaluator struct {
 func (e *Evaluator) Clone() *Evaluator {
 	c := *e // shares c.shared; copies outVals (an array) and the knobs
 	c.inBuf = make([]uint64, len(e.inBuf))
+	c.progScratch = nil // grown per configuration inside Evaluate
+	c.progOut = nil
 	return &c
 }
 
@@ -198,47 +236,51 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 			return nil, fmt.Errorf("accel: image %dx%d smaller than the SSIM window", im.W, im.H)
 		}
 	}
-	sh := &evalShared{headBits: 8 * len(app.Taps)}
+	const W = evalBlockWords
+	sh := &evalShared{gp: compileGraph(app.Graph), headBits: 8 * len(app.Taps)}
 	e := &Evaluator{App: app, Images: images, shared: sh, ActivityBatches: 16, Metric: ssim.SSIM}
 
-	// Exact references.
+	// Exact references, through the shared compiled graph program.
+	gvals := make([]uint64, sh.gp.numVals())
 	sh.exact = make([][]*imagedata.Image, len(app.Sims))
 	for si, sim := range app.Sims {
 		sh.exact[si] = make([]*imagedata.Image, len(images))
 		for ii, im := range images {
-			sh.exact[si][ii] = app.ExactOutput(im, sim)
+			sh.exact[si][ii] = app.exactOutput(sh.gp, gvals, im, sim)
 		}
 	}
 
-	// Window bit-planes per image, 64 pixels per batch, row-major.
-	vals := make([]uint64, 64)
+	// Window bit-planes per image, W×64 pixels per block, row-major, in
+	// the block layout Program.EvalBlock consumes.
+	vals := make([]uint64, W*64)
 	sh.planes = make([][][]uint64, len(images))
 	sh.laneCount = make([][]int, len(images))
 	for ii, im := range images {
 		total := im.W * im.H
-		nb := (total + 63) / 64
+		nb := (total + W*64 - 1) / (W * 64)
 		sh.planes[ii] = make([][]uint64, nb)
 		sh.laneCount[ii] = make([]int, nb)
 		for b := 0; b < nb; b++ {
-			base := b * 64
+			base := b * W * 64
 			lanes := total - base
-			if lanes > 64 {
-				lanes = 64
+			if lanes > W*64 {
+				lanes = W * 64
 			}
-			plane := make([]uint64, sh.headBits)
+			plane := make([]uint64, sh.headBits*W)
 			for t, tap := range app.Taps {
 				for l := 0; l < lanes; l++ {
 					p := base + l
 					vals[l] = uint64(im.AtClamped(p%im.W+tap.DX, p/im.W+tap.DY))
 				}
-				netlist.PackBits(vals[:lanes], 8, plane[8*t:8*t+8])
+				netlist.PackBitsBlock(vals[:lanes], 8, W, plane[8*t*W:(8*t+8)*W])
 			}
 			sh.planes[ii][b] = plane
 			sh.laneCount[ii][b] = lanes
 		}
 	}
 
-	// Broadcast planes for the extra (per-simulation) inputs.
+	// Broadcast planes for the extra (per-simulation) inputs: each bit
+	// repeats across the W block words.
 	extraIDs := app.Graph.Inputs[len(app.Taps):]
 	sh.simPlanes = make([][]uint64, len(app.Sims))
 	for si, sim := range app.Sims {
@@ -246,16 +288,18 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 		for xi, id := range extraIDs {
 			w := app.Graph.Nodes[id].Width
 			for k := 0; k < w; k++ {
+				word := uint64(0)
 				if sim[xi]>>uint(k)&1 != 0 {
-					plane = append(plane, ^uint64(0))
-				} else {
-					plane = append(plane, 0)
+					word = ^uint64(0)
+				}
+				for j := 0; j < W; j++ {
+					plane = append(plane, word)
 				}
 			}
 		}
 		sh.simPlanes[si] = plane
 	}
-	totalIn := sh.headBits + len(sh.simPlanes[0])
+	totalIn := sh.headBits*W + len(sh.simPlanes[0])
 	e.inBuf = make([]uint64, totalIn)
 	return e, nil
 }
@@ -271,41 +315,61 @@ func (e *Evaluator) Synthesize(cfg Configuration) (*netlist.Netlist, error) {
 }
 
 // Evaluate performs the full precise analysis of one configuration:
-// synthesis for hardware cost, bit-parallel netlist simulation over every
-// (simulation, image) pair for QoR.
+// synthesis for hardware cost, then block-packed simulation of the
+// compiled program over every (simulation, image) pair for QoR —
+// evalBlockWords×64 pixels per instruction-decode pass.
 func (e *Evaluator) Evaluate(cfg Configuration) (Result, error) {
 	simp, err := e.Synthesize(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	nev := netlist.NewEvaluator(simp)
+	const W = evalBlockWords
+	prog := netlist.Compile(simp)
+	if len(e.progScratch) < prog.NumSlots()*W {
+		e.progScratch = make([]uint64, prog.NumSlots()*W)
+	}
+	if len(e.progOut) < prog.NumOutputs()*W {
+		e.progOut = make([]uint64, prog.NumOutputs()*W)
+	}
 
 	sh := e.shared
+	headWords := sh.headBits * W
+	totalBits := len(e.inBuf) / W
+	outW := prog.NumOutputs()
 	var ssimTotal float64
 	var activity [][]uint64
 	var activityLanes []int
 	for si := range e.App.Sims {
-		copy(e.inBuf[sh.headBits:], sh.simPlanes[si])
+		copy(e.inBuf[headWords:], sh.simPlanes[si])
 		for ii, im := range e.Images {
 			out := imagedata.New(im.W, im.H)
 			for b, plane := range sh.planes[ii] {
-				copy(e.inBuf[:sh.headBits], plane)
-				res := nev.Eval(e.inBuf)
+				copy(e.inBuf[:headWords], plane)
+				res := prog.EvalBlock(e.inBuf, W, e.progScratch, e.progOut)
 				lanes := sh.laneCount[ii][b]
-				netlist.UnpackBits(res, lanes, e.outVals[:])
-				base := b * 64
+				netlist.UnpackBitsBlock(res, outW, W, lanes, e.outVals[:])
+				base := b * W * 64
 				for l := 0; l < lanes; l++ {
 					out.Pix[base+l] = uint8(e.outVals[l])
 				}
-				if si == 0 && ii == 0 && len(activity) < e.ActivityBatches {
-					activity = append(activity, append([]uint64(nil), e.inBuf...))
-					activityLanes = append(activityLanes, lanes)
+				// Switching-activity batches stay 64-lane: re-slice the
+				// block so the captured sample stream is identical to the
+				// historical per-word batches.
+				for w := 0; si == 0 && ii == 0 && w*64 < lanes && len(activity) < e.ActivityBatches; w++ {
+					batch := make([]uint64, totalBits)
+					netlist.ExtractBlockWord(e.inBuf, W, w, batch)
+					bl := lanes - w*64
+					if bl > 64 {
+						bl = 64
+					}
+					activity = append(activity, batch)
+					activityLanes = append(activityLanes, bl)
 				}
 			}
 			ssimTotal += e.Metric(sh.exact[si][ii], out)
 		}
 	}
-	cost := simp.AnalyzeActivity(activity, activityLanes)
+	cost := simp.AnalyzeActivityProgram(prog, activity, activityLanes)
 	return Result{
 		SSIM:   ssimTotal / float64(len(e.App.Sims)*len(e.Images)),
 		Area:   cost.Area,

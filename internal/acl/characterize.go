@@ -63,9 +63,17 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 	simp.Name = nl.Name
 	c := &Circuit{Name: nl.Name, Op: op, Family: family, Netlist: simp}
 
-	ev := netlist.NewEvaluator(simp)
-	planes := make([]uint64, wa+wb)
-	var avals, bvals, ovals [64]uint64
+	// The sweep runs on the compiled program, W packed words (W×64 operand
+	// pairs) per instruction-decode pass.  Lane values, the output
+	// signature sequence and the captured activity batches are bit-
+	// identical to the historical one-word-at-a-time evaluation.
+	const W = netlist.BlockWords
+	prog := netlist.Compile(simp)
+	outW := len(simp.Outputs)
+	planes := make([]uint64, (wa+wb)*W)
+	scratch := make([]uint64, prog.NumSlots()*W)
+	outBuf := make([]uint64, outW*W)
+	var avals, bvals, ovals [W * 64]uint64
 	exhaustive := wa+wb <= opts.ExhaustiveBits
 	var total uint64
 	if exhaustive {
@@ -86,9 +94,9 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 	var activity [][]uint64
 	var activityLanes []int
 
-	for base := uint64(0); base < total; base += 64 {
-		lanes := 64
-		if total-base < 64 {
+	for base := uint64(0); base < total; base += W * 64 {
+		lanes := W * 64
+		if total-base < uint64(lanes) {
 			lanes = int(total - base)
 		}
 		if exhaustive {
@@ -103,13 +111,15 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 				bvals[l] = rng.Uint64() & maskB
 			}
 		}
-		netlist.PackBits(avals[:lanes], wa, planes[:wa])
-		netlist.PackBits(bvals[:lanes], wb, planes[wa:])
-		out := ev.Eval(planes)
-		for _, w := range out {
-			sig = (sig ^ w) * fnvPrime
+		netlist.PackBitsBlock(avals[:lanes], wa, W, planes[:wa*W])
+		netlist.PackBitsBlock(bvals[:lanes], wb, W, planes[wa*W:])
+		out := prog.EvalBlock(planes, W, scratch, outBuf)
+		for w := 0; w*64 < lanes; w++ {
+			for j := 0; j < outW; j++ {
+				sig = (sig ^ out[j*W+w]) * fnvPrime
+			}
 		}
-		netlist.UnpackBits(out, lanes, ovals[:])
+		netlist.UnpackBitsBlock(out, outW, W, lanes, ovals[:])
 		for l := 0; l < lanes; l++ {
 			exact := op.Value(op.Exact(avals[l], bvals[l]))
 			got := op.Value(ovals[l])
@@ -135,9 +145,17 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 				sumRel += fd / float64(den)
 			}
 		}
-		if len(activity) < opts.ActivityBatches {
-			activity = append(activity, append([]uint64(nil), planes...))
-			activityLanes = append(activityLanes, lanes)
+		// Activity batches stay 64-lane: re-slice the block planes so the
+		// captured sample stream matches the historical per-word batches.
+		for w := 0; w*64 < lanes && len(activity) < opts.ActivityBatches; w++ {
+			batch := make([]uint64, wa+wb)
+			netlist.ExtractBlockWord(planes, W, w, batch)
+			bl := lanes - w*64
+			if bl > 64 {
+				bl = 64
+			}
+			activity = append(activity, batch)
+			activityLanes = append(activityLanes, bl)
 		}
 	}
 	ft := float64(total)
@@ -148,7 +166,7 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 	c.WCE = wce
 	c.Sig = sig
 
-	cost := simp.AnalyzeActivity(activity, activityLanes)
+	cost := simp.AnalyzeActivityProgram(prog, activity, activityLanes)
 	c.Area = cost.Area
 	c.Delay = cost.Delay
 	c.Power = cost.Power

@@ -2,6 +2,7 @@ package dse
 
 import (
 	"fmt"
+	"sync"
 
 	"autoax/internal/accel"
 	"autoax/internal/ml"
@@ -18,13 +19,44 @@ type Models struct {
 	QoR   ml.Regressor
 	HW    ml.Regressor
 	Space Space
+
+	// predOnce caches the compiled prediction functions: the arena a
+	// random forest flattens into is immutable and shared by every
+	// estimator drawn from these models.  Set QoR/HW before the first
+	// Estimator call; they must not be reassigned afterwards.
+	predOnce        sync.Once
+	qorPred, hwPred func([]float64) float64
 }
 
 // Estimator returns the fast configuration estimator backed by the models.
+// The estimator owns reusable feature buffers — one call performs zero
+// allocations — so it is NOT safe for concurrent use; call Estimator()
+// once per goroutine (the closure cost is two small buffers; the compiled
+// prediction arenas are built once per Models and shared by every
+// estimator).  Random-forest models are flattened through
+// ml.RandomForest.Compile so the millions of queries Algorithm 1 issues
+// walk one contiguous node arena instead of 100 pointer-chased trees.
 func (m *Models) Estimator() Estimator {
+	m.predOnce.Do(func() {
+		m.qorPred = predictFunc(m.QoR)
+		m.hwPred = predictFunc(m.HW)
+	})
+	qor, hw := m.qorPred, m.hwPred
+	fq := make([]float64, len(m.Space))
+	fh := make([]float64, 3*len(m.Space))
 	return func(cfg []int) (float64, float64) {
-		return m.QoR.Predict(m.Space.QoRFeatures(cfg)), m.HW.Predict(m.Space.HWFeatures(cfg))
+		return qor(m.Space.QoRFeaturesInto(cfg, fq)), hw(m.Space.HWFeaturesInto(cfg, fh))
 	}
+}
+
+// predictFunc returns the fastest available prediction function for a
+// fitted regressor: compiled-arena inference for random forests, the
+// regressor's own Predict otherwise.  Predictions are bit-identical.
+func predictFunc(r ml.Regressor) func([]float64) float64 {
+	if rf, ok := r.(*ml.RandomForest); ok {
+		return rf.Compile().Predict
+	}
+	return r.Predict
 }
 
 // BuildTrainingData converts precisely evaluated configurations into the

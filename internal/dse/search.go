@@ -119,6 +119,15 @@ func Exhaustive(s Space, est Estimator) (*pareto.Archive[[]int], error) {
 	return ExhaustiveParallel(s, est, 0)
 }
 
+// ExhaustiveEstimators is ExhaustiveParallel for estimators that are not
+// safe for concurrent use: newEst is called once per shard to obtain that
+// shard's private estimator.  Models.Estimator owns per-call feature
+// buffers, so pass the method value itself (dse.ExhaustiveEstimators(s,
+// models.Estimator, p)) rather than a shared estimator.
+func ExhaustiveEstimators(s Space, newEst func() Estimator, parallelism int) (*pareto.Archive[[]int], error) {
+	return exhaustiveSharded(s, newEst, parallelism)
+}
+
 // ExhaustiveParallel is Exhaustive with an explicit parallelism bound
 // (≤ 0 means runtime.GOMAXPROCS, 1 forces the sequential path).  The
 // linearized odometer keyspace is partitioned into contiguous per-shard
@@ -128,9 +137,15 @@ func Exhaustive(s Space, est Estimator) (*pareto.Archive[[]int], error) {
 // enumeration-earlier one) is identical to the sequential enumeration.
 //
 // est is called concurrently from every shard and must be safe for
-// concurrent use; Models.Estimator is (its regressors are read-only after
-// fitting and it allocates per-call feature vectors).
+// concurrent use.  Models.Estimator is NOT (it owns reusable feature
+// buffers); use ExhaustiveEstimators with the factory instead.
 func ExhaustiveParallel(s Space, est Estimator, parallelism int) (*pareto.Archive[[]int], error) {
+	return exhaustiveSharded(s, func() Estimator { return est }, parallelism)
+}
+
+// exhaustiveSharded implements the keyspace-partitioned enumeration; every
+// shard draws a fresh estimator from newEst.
+func exhaustiveSharded(s Space, newEst func() Estimator, parallelism int) (*pareto.Archive[[]int], error) {
 	n := s.NumConfigs()
 	if n > ExhaustiveLimit {
 		return nil, fmt.Errorf("dse: space of %.3g configurations exceeds the exhaustive limit %.3g", n, ExhaustiveLimit)
@@ -147,7 +162,7 @@ func ExhaustiveParallel(s Space, est Estimator, parallelism int) (*pareto.Archiv
 		workers = total
 	}
 	if workers <= 1 {
-		return exhaustiveRange(s, est, 0, total), nil
+		return exhaustiveRange(s, newEst(), 0, total), nil
 	}
 	shards := make([]*pareto.Archive[[]int], workers)
 	var wg sync.WaitGroup
@@ -159,7 +174,7 @@ func ExhaustiveParallel(s Space, est Estimator, parallelism int) (*pareto.Archiv
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			shards[w] = exhaustiveRange(s, est, lo, hi)
+			shards[w] = exhaustiveRange(s, newEst(), lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()

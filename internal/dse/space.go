@@ -118,26 +118,39 @@ func (s Space) RandomConfigs(n int, seed int64) [][]int {
 // QoRFeatures returns the model input for QoR estimation: the WMED of each
 // selected circuit (paper §4.1.2).
 func (s Space) QoRFeatures(cfg []int) []float64 {
-	f := make([]float64, len(s))
+	return s.QoRFeaturesInto(cfg, make([]float64, len(s)))
+}
+
+// QoRFeaturesInto writes the QoR features into dst (length ≥ len(s)) and
+// returns dst[:len(s)] — the allocation-free variant the estimator hot
+// path uses.
+func (s Space) QoRFeaturesInto(cfg []int, dst []float64) []float64 {
+	dst = dst[:len(s)]
 	for i, idx := range cfg {
-		f[i] = s[i][idx].WMED
+		dst[i] = s[i][idx].WMED
 	}
-	return f
+	return dst
 }
 
 // HWFeatures returns the model input for hardware estimation: the areas of
 // all selected circuits, then their powers, then their delays (paper
 // §4.1.2: omitting power and delay loses ~2% fidelity).
 func (s Space) HWFeatures(cfg []int) []float64 {
+	return s.HWFeaturesInto(cfg, make([]float64, 3*len(s)))
+}
+
+// HWFeaturesInto writes the hardware features into dst (length ≥ 3·len(s))
+// and returns dst[:3·len(s)] without allocating.
+func (s Space) HWFeaturesInto(cfg []int, dst []float64) []float64 {
 	n := len(s)
-	f := make([]float64, 3*n)
+	dst = dst[:3*n]
 	for i, idx := range cfg {
 		c := s[i][idx]
-		f[i] = c.Area
-		f[n+i] = c.Power
-		f[2*n+i] = c.Delay
+		dst[i] = c.Area
+		dst[n+i] = c.Power
+		dst[2*n+i] = c.Delay
 	}
-	return f
+	return dst
 }
 
 // EvaluateAll precisely evaluates every configuration (simulation +

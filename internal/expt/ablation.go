@@ -132,7 +132,7 @@ func AblationStagnation(w io.Writer, s Setup) error {
 	space := cappedSpace(pipe.Space, p.table4Cap)
 	models := &dse.Models{QoR: pipe.Models.QoR, HW: pipe.Models.HW, Space: space}
 	est := models.Estimator()
-	optimal, err := dse.ExhaustiveParallel(space, est, s.Parallelism)
+	optimal, err := dse.ExhaustiveEstimators(space, models.Estimator, s.Parallelism)
 	if err != nil {
 		return err
 	}

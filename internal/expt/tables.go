@@ -158,7 +158,7 @@ func Table4Rows(s Setup) ([]Table4Row, error) {
 	models := &dse.Models{QoR: pipe.Models.QoR, HW: pipe.Models.HW, Space: space}
 	est := models.Estimator()
 
-	optimal, err := dse.ExhaustiveParallel(space, est, s.Parallelism)
+	optimal, err := dse.ExhaustiveEstimators(space, models.Estimator, s.Parallelism)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,167 @@
+package ml
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cnode is one node of a compiled forest: 24 bytes, so a cache line holds
+// more than two nodes and a root-to-leaf walk touches a fraction of the
+// lines the pointer-per-tree layout did.  Trees are flattened in preorder
+// with the left child immediately following its parent, so only the right
+// child needs an index.
+type cnode struct {
+	thresh  float64
+	value   float64
+	feature int32 // -1 for leaves
+	right   int32 // arena index of the right child
+}
+
+// CompiledForest is a RandomForest flattened into one contiguous node
+// arena for cache-friendly inference.  It is immutable and safe for
+// concurrent use, and Predict is bit-identical to the source forest's
+// tree-walking Predict (same per-tree traversal, same summation order,
+// same final division).
+type CompiledForest struct {
+	nodes  []cnode
+	roots  []int32
+	nTrees float64
+}
+
+// Compile flattens a fitted forest into a CompiledForest.
+func (f *RandomForest) Compile() *CompiledForest {
+	cf := &CompiledForest{
+		roots:  make([]int32, 0, len(f.trees)),
+		nTrees: float64(len(f.trees)),
+	}
+	for _, t := range f.trees {
+		cf.roots = append(cf.roots, int32(len(cf.nodes)))
+		if len(t.nodes) == 0 {
+			// An unfitted tree predicts 0 (DecisionTree.Predict's guard).
+			cf.nodes = append(cf.nodes, cnode{feature: -1})
+			continue
+		}
+		cf.flatten(t, 0)
+	}
+	return cf
+}
+
+// flatten copies the subtree rooted at tree node id into the arena in
+// preorder and returns nothing; the left child lands at the slot right
+// after its parent.
+func (cf *CompiledForest) flatten(t *DecisionTree, id int32) {
+	n := t.nodes[id]
+	self := len(cf.nodes)
+	cf.nodes = append(cf.nodes, cnode{feature: int32(n.feature), thresh: n.thresh, value: n.value})
+	if n.feature < 0 {
+		return
+	}
+	cf.flatten(t, n.left)
+	cf.nodes[self].right = int32(len(cf.nodes))
+	cf.flatten(t, n.right)
+}
+
+// Predict averages the trees' predictions for one feature vector.  It
+// performs no allocations.
+func (cf *CompiledForest) Predict(x []float64) float64 {
+	var s float64
+	nodes := cf.nodes
+	for _, root := range cf.roots {
+		id := root
+		for {
+			n := &nodes[id]
+			if n.feature < 0 {
+				s += n.value
+				break
+			}
+			if x[n.feature] <= n.thresh {
+				id++ // left child is adjacent in preorder
+			} else {
+				id = n.right
+			}
+		}
+	}
+	return s / cf.nTrees
+}
+
+// Fit implements Regressor: it bootstrap-trains NTrees CART trees across
+// GOMAXPROCS goroutines.  Every tree's bootstrap sample and private seed
+// are pre-derived from the root RNG in tree order, so the result is
+// bit-identical to the historical sequential fit at any parallelism.
+func (f *RandomForest) Fit(x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(f.seed))
+	f.trees = make([]*DecisionTree, f.NTrees)
+	n := len(x)
+	type boot struct {
+		bx   [][]float64
+		by   []float64
+		seed int64
+	}
+	boots := make([]boot, f.NTrees)
+	for k := range boots {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		boots[k] = boot{bx, by, rng.Int63()}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f.NTrees {
+		workers = f.NTrees
+	}
+	if workers <= 1 {
+		for k := range boots {
+			if err := f.fitTree(k, boots[k].bx, boots[k].by, boots[k].seed); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		firstEr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(boots) {
+					return
+				}
+				if err := f.fitTree(k, boots[k].bx, boots[k].by, boots[k].seed); err != nil {
+					mu.Lock()
+					if firstEr == nil {
+						firstEr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}
+
+// fitTree trains tree k on its pre-derived bootstrap sample.
+func (f *RandomForest) fitTree(k int, bx [][]float64, by []float64, seed int64) error {
+	tr := NewDecisionTree(0, 2)
+	tr.rng = rand.New(rand.NewSource(seed))
+	if err := tr.Fit(bx, by); err != nil {
+		return err
+	}
+	f.trees[k] = tr
+	return nil
+}

@@ -1,0 +1,128 @@
+package ml
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// forestProblem builds a deterministic nonlinear regression problem.
+func forestProblem(n, d int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		row := make([]float64, d)
+		s := 0.0
+		for j := range row {
+			row[j] = rng.Float64() * 100
+			s += row[j] * float64(j+1)
+		}
+		x[i] = row
+		y[i] = 1/(1+s/100) + rng.NormFloat64()*0.01
+	}
+	return x, y
+}
+
+// sequentialFit reproduces the historical single-goroutine forest fit; the
+// parallel Fit must stay bit-identical to it.
+func sequentialFit(f *RandomForest, x [][]float64, y []float64) error {
+	if err := checkXY(x, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(f.seed))
+	f.trees = make([]*DecisionTree, f.NTrees)
+	n := len(x)
+	for k := 0; k < f.NTrees; k++ {
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = x[j]
+			by[i] = y[j]
+		}
+		tr := NewDecisionTree(0, 2)
+		tr.rng = rand.New(rand.NewSource(rng.Int63()))
+		if err := tr.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees[k] = tr
+	}
+	return nil
+}
+
+// TestRandomForestFitParallelDeterministic pins the parallel Fit to the
+// sequential reference: identical trees node for node, at any GOMAXPROCS.
+func TestRandomForestFitParallelDeterministic(t *testing.T) {
+	x, y := forestProblem(120, 4, 3)
+	seq := NewRandomForest(12, 42)
+	if err := sequentialFit(seq, x, y); err != nil {
+		t.Fatal(err)
+	}
+	par := NewRandomForest(12, 42)
+	if err := par.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.trees) != len(par.trees) {
+		t.Fatalf("tree counts differ: %d vs %d", len(seq.trees), len(par.trees))
+	}
+	for k := range seq.trees {
+		if !reflect.DeepEqual(seq.trees[k].nodes, par.trees[k].nodes) {
+			t.Fatalf("tree %d differs between sequential and parallel fit", k)
+		}
+	}
+}
+
+// TestCompiledForestMatchesPredict pins CompiledForest.Predict bit-
+// identical to the tree-walking RandomForest.Predict.
+func TestCompiledForestMatchesPredict(t *testing.T) {
+	x, y := forestProblem(200, 5, 9)
+	rf := NewRandomForest(20, 7)
+	if err := rf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	cf := rf.Compile()
+	rng := rand.New(rand.NewSource(17))
+	probe := make([]float64, 5)
+	for trial := 0; trial < 2000; trial++ {
+		for j := range probe {
+			probe[j] = rng.Float64() * 120
+		}
+		want := rf.Predict(probe)
+		got := cf.Predict(probe)
+		if want != got {
+			t.Fatalf("trial %d: compiled %v != tree-walking %v", trial, got, want)
+		}
+	}
+	// Training points too (exact-memorization leaves).
+	for i, row := range x {
+		if rf.Predict(row) != cf.Predict(row) {
+			t.Fatalf("train row %d: compiled prediction differs", i)
+		}
+	}
+}
+
+// TestCompiledForestPredictNoAllocs guards the zero-allocation contract of
+// the compiled inference path.
+func TestCompiledForestPredictNoAllocs(t *testing.T) {
+	x, y := forestProblem(80, 3, 5)
+	rf := NewRandomForest(8, 1)
+	if err := rf.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	cf := rf.Compile()
+	probe := []float64{1, 2, 3}
+	if n := testing.AllocsPerRun(200, func() { cf.Predict(probe) }); n != 0 {
+		t.Fatalf("CompiledForest.Predict allocates %v times per call", n)
+	}
+}
+
+// TestCompiledForestEmptyTree covers the unfitted-tree guard.
+func TestCompiledForestEmptyTree(t *testing.T) {
+	rf := NewRandomForest(2, 1)
+	rf.trees = []*DecisionTree{NewDecisionTree(0, 2), NewDecisionTree(0, 2)}
+	cf := rf.Compile()
+	if got, want := cf.Predict([]float64{1}), rf.Predict([]float64{1}); got != want {
+		t.Fatalf("empty-tree forest: compiled %v != tree-walking %v", got, want)
+	}
+}

@@ -180,31 +180,8 @@ func NewRandomForest(n int, seed int64) *RandomForest {
 	return &RandomForest{NTrees: n, seed: seed}
 }
 
-// Fit implements Regressor.
-func (f *RandomForest) Fit(x [][]float64, y []float64) error {
-	if err := checkXY(x, y); err != nil {
-		return err
-	}
-	rng := rand.New(rand.NewSource(f.seed))
-	f.trees = make([]*DecisionTree, f.NTrees)
-	n := len(x)
-	for k := 0; k < f.NTrees; k++ {
-		bx := make([][]float64, n)
-		by := make([]float64, n)
-		for i := 0; i < n; i++ {
-			j := rng.Intn(n)
-			bx[i] = x[j]
-			by[i] = y[j]
-		}
-		tr := NewDecisionTree(0, 2)
-		tr.rng = rand.New(rand.NewSource(rng.Int63()))
-		if err := tr.Fit(bx, by); err != nil {
-			return err
-		}
-		f.trees[k] = tr
-	}
-	return nil
-}
+// Fit implements Regressor; see forest.go for the parallel implementation
+// (bit-identical to sequential fitting at any parallelism).
 
 // Predict implements Regressor.
 func (f *RandomForest) Predict(x []float64) float64 {

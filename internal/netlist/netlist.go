@@ -20,7 +20,6 @@ package netlist
 import (
 	"errors"
 	"fmt"
-	"math/bits"
 
 	"autoax/internal/cell"
 )
@@ -170,51 +169,31 @@ func (n *Netlist) Eval(inputs []uint64, scratch []uint64, outBuf []uint64) []uin
 	return outBuf
 }
 
-// Evaluator wraps a netlist with reusable buffers for repeated Eval calls.
-// It is not safe for concurrent use; create one per goroutine.
+// Evaluator wraps a compiled program of the netlist with reusable buffers
+// for repeated Eval calls.  It is not safe for concurrent use; create one
+// per goroutine (clones may share the immutable compiled program via
+// Program directly).
 type Evaluator struct {
-	n       *Netlist
+	p       *Program
 	scratch []uint64
 	out     []uint64
 }
 
-// NewEvaluator returns an evaluator with preallocated buffers.
+// NewEvaluator compiles the netlist and returns an evaluator with
+// preallocated buffers.
 func NewEvaluator(n *Netlist) *Evaluator {
+	p := Compile(n)
 	return &Evaluator{
-		n:       n,
-		scratch: make([]uint64, n.NumNodes()),
-		out:     make([]uint64, len(n.Outputs)),
+		p:       p,
+		scratch: make([]uint64, p.NumSlots()),
+		out:     make([]uint64, p.NumOutputs()),
 	}
 }
 
 // Eval evaluates 64 parallel vectors; the returned slice is reused across
 // calls and must not be retained.
 func (e *Evaluator) Eval(inputs []uint64) []uint64 {
-	return e.n.Eval(inputs, e.scratch, e.out)
-}
-
-// PackBits converts up to 64 integer samples of one operand into bit-plane
-// words: dst[k] bit l holds bit k of vals[l].  dst must have length ≥ width.
-func PackBits(vals []uint64, width int, dst []uint64) {
-	for k := 0; k < width; k++ {
-		var w uint64
-		for l, v := range vals {
-			w |= ((v >> uint(k)) & 1) << uint(l)
-		}
-		dst[k] = w
-	}
-}
-
-// UnpackBits reverses PackBits: it extracts count per-lane integers from
-// bit-plane words into dst.  dst must have length ≥ count.
-func UnpackBits(planes []uint64, count int, dst []uint64) {
-	for l := 0; l < count; l++ {
-		var v uint64
-		for k, w := range planes {
-			v |= ((w >> uint(l)) & 1) << uint(k)
-		}
-		dst[l] = v
-	}
+	return e.p.Eval(inputs, e.scratch, e.out)
 }
 
 // WordFunc returns a scalar evaluator interpreting the netlist as a function
@@ -318,13 +297,24 @@ func (n *Netlist) Analyze() Cost {
 // estimated as α = 2p(1−p) where p is the observed probability of the gate
 // output being 1 — the standard static activity approximation.
 func (n *Netlist) AnalyzeActivity(samples [][]uint64, laneCounts []int) Cost {
+	if len(samples) == 0 {
+		return n.Analyze()
+	}
+	return n.AnalyzeActivityProgram(Compile(n), samples, laneCounts)
+}
+
+// AnalyzeActivityProgram is AnalyzeActivity over an already-compiled
+// program of this netlist, so hot paths that simulated through p don't
+// lower the netlist a second time.
+func (n *Netlist) AnalyzeActivityProgram(p *Program, samples [][]uint64, laneCounts []int) Cost {
 	c := n.Analyze()
 	if len(samples) == 0 {
 		return c
 	}
 	ones := make([]int64, len(n.Gates))
 	var total int64
-	vals := make([]uint64, n.NumNodes())
+	vals := make([]uint64, p.NumSlots())
+	out := make([]uint64, p.NumOutputs())
 	for j, in := range samples {
 		lanes := 64
 		if laneCounts != nil {
@@ -334,10 +324,8 @@ func (n *Netlist) AnalyzeActivity(samples [][]uint64, laneCounts []int) Cost {
 		if lanes < 64 {
 			mask = (uint64(1) << uint(lanes)) - 1
 		}
-		n.Eval(in, vals, nil)
-		for i := range n.Gates {
-			ones[i] += int64(bits.OnesCount64(vals[n.NumInputs+i] & mask))
-		}
+		p.Eval(in, vals, out)
+		p.countGateOnes(vals, mask, ones)
 		total += int64(lanes)
 	}
 	var switchEnergy float64 // fJ per cycle

@@ -1,0 +1,108 @@
+package netlist
+
+// Bit-plane packing via the 64×64 bit-matrix transpose.
+//
+// Viewing 64 integer samples as a 64×64 bit matrix (row l = sample l,
+// column k = bit k), converting between per-sample integers and per-bit
+// plane words is exactly a matrix transpose.  The recursive block-swap
+// network (Hacker's Delight §7-3, widened to 64×64) performs it in
+// 6 log-steps of word operations instead of the O(width×64) shift-and-or
+// bit loop, and every step is branch-free straight-line code.
+
+// transpose64 transposes a 64×64 bit matrix in place: afterwards bit l of
+// word k equals what bit k of word l was.  The block-swap network is
+// symmetric under simultaneous reversal of row order and bit order, so it
+// is a plain transpose in the little-endian convention used here.
+func transpose64(a *[64]uint64) {
+	j := uint(32)
+	m := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := uint(0); k < 64; k = (k + j + 1) &^ j {
+			t := ((a[k] >> j) ^ a[k|j]) & m
+			a[k|j] ^= t
+			a[k] ^= t << j
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}
+
+// PackBits converts up to 64 integer samples of one operand into bit-plane
+// words: dst[k] bit l holds bit k of vals[l].  dst must have length ≥ width.
+func PackBits(vals []uint64, width int, dst []uint64) {
+	var m [64]uint64
+	copy(m[:], vals)
+	transpose64(&m)
+	copy(dst[:width], m[:width])
+}
+
+// UnpackBits reverses PackBits: it extracts count per-lane integers from
+// bit-plane words into dst.  dst must have length ≥ count.
+func UnpackBits(planes []uint64, count int, dst []uint64) {
+	var m [64]uint64
+	copy(m[:], planes)
+	transpose64(&m)
+	copy(dst[:count], m[:count])
+}
+
+// PackBitsBlock packs up to words×64 samples into the block-plane layout
+// consumed by Program.EvalBlock: dst[k*words+w] holds, for operand bit k,
+// the plane word of lanes [w*64, w*64+64).  Lanes beyond len(vals) pack as
+// zero.  dst must have length ≥ width*words.
+func PackBitsBlock(vals []uint64, width, words int, dst []uint64) {
+	var m [64]uint64
+	for w := 0; w < words; w++ {
+		lo := w * 64
+		if lo >= len(vals) {
+			for k := 0; k < width; k++ {
+				dst[k*words+w] = 0
+			}
+			continue
+		}
+		chunk := vals[lo:]
+		if len(chunk) > 64 {
+			chunk = chunk[:64]
+		}
+		copy(m[:], chunk)
+		for l := len(chunk); l < 64; l++ {
+			m[l] = 0
+		}
+		transpose64(&m)
+		for k := 0; k < width; k++ {
+			dst[k*words+w] = m[k]
+		}
+	}
+}
+
+// ExtractBlockWord copies word w of every bit-plane out of the block
+// layout (planes[k*words+w], as built by PackBitsBlock) into dst — one
+// 64-lane plane per operand bit, the historical single-word layout.
+// Activity-sample capture uses it to keep the recorded sample stream
+// bit-identical to pre-block evaluation.  dst must have length
+// len(planes)/words.
+func ExtractBlockWord(planes []uint64, words, w int, dst []uint64) {
+	for k := range dst {
+		dst[k] = planes[k*words+w]
+	}
+}
+
+// UnpackBitsBlock reverses PackBitsBlock: it extracts count per-lane
+// integers from block planes laid out as planes[k*words+w] into dst.
+// dst must have length ≥ count.
+func UnpackBitsBlock(planes []uint64, width, words, count int, dst []uint64) {
+	var m [64]uint64
+	for w := 0; w < words && w*64 < count; w++ {
+		for k := 0; k < width; k++ {
+			m[k] = planes[k*words+w]
+		}
+		for k := width; k < 64; k++ {
+			m[k] = 0
+		}
+		transpose64(&m)
+		lanes := count - w*64
+		if lanes > 64 {
+			lanes = 64
+		}
+		copy(dst[w*64:w*64+lanes], m[:lanes])
+	}
+}

@@ -1,0 +1,551 @@
+package netlist
+
+import (
+	"fmt"
+	"math/bits"
+	"unsafe"
+
+	"autoax/internal/cell"
+)
+
+// slotLoad / slotStore access value slot s of a buffer through its base
+// pointer without a bounds check.  Safety rests on one local invariant,
+// established by Compile and checked by Eval/EvalBlock before the loop:
+// every operand and destination slot is < NumSlots, and the buffer holds
+// at least NumSlots (×words) elements.  The instruction loops are the
+// hottest code in the repository; the three checks these helpers avoid
+// per gate are worth ~10% end to end.
+func slotLoad(base unsafe.Pointer, s uintptr) uint64 {
+	return *(*uint64)(unsafe.Add(base, s*8))
+}
+
+func slotStore(base unsafe.Pointer, s uintptr, v uint64) {
+	*(*uint64)(unsafe.Add(base, s*8)) = v
+}
+
+// opcode is a specialized instruction of a compiled Program.  The set
+// mirrors the cell kinds plus the residual forms constant-operand folding
+// produces: a gate with a constant-rail operand always reduces to a
+// constant, a unary op, or a smaller binary op, so no instruction ever
+// carries a constant operand at run time.
+type opcode uint8
+
+const (
+	opBuf opcode = iota
+	opInv
+	opAnd2
+	opOr2
+	opNand2
+	opNor2
+	opXor2
+	opXnor2
+	opMux2
+	opAndN2
+	opOrN2
+	opConst0
+	opConst1
+)
+
+// BlockWords is the block width consumers use with EvalBlock: 4 packed
+// words = 256 lanes per instruction-decode pass, the sweet spot between
+// dispatch amortization and scratch footprint (measured on the Dadda-8
+// multiplier and the flattened Sobel netlist).
+const BlockWords = 4
+
+// Program is a netlist lowered into a contiguous, constant-resolved
+// instruction stream for fast repeated simulation.  Opcodes and operand
+// slots are stored struct-of-arrays (four independent sequential streams
+// the hardware prefetcher tracks perfectly); constant rails — and gates
+// constant propagation proves constant — are folded into specialized
+// opcodes at compile time, so evaluation has no per-operand branches.
+//
+// A Program is immutable after Compile and safe for concurrent use as long
+// as every goroutine supplies its own scratch and output buffers —
+// concurrent evaluators share one compiled program.
+//
+// Instruction i computes gate i of the source netlist and writes value
+// slot NumInputs+i, so per-gate values (needed by switching-activity
+// analysis) land exactly where Netlist.Eval puts them.  Two extra slots
+// past NumNodes hold the constant rails for pre-resolved constant outputs.
+type Program struct {
+	numInputs int
+	numOuts   int
+
+	op      []opcode
+	a, b, c []int32 // operand slots; unused operands point at the zero rail
+	outs    []int32 // pre-resolved output slots (may be the rail slots)
+}
+
+// NumInputs returns the number of packed input words Eval expects.
+func (p *Program) NumInputs() int { return p.numInputs }
+
+// NumOutputs returns the number of packed output words Eval produces.
+func (p *Program) NumOutputs() int { return p.numOuts }
+
+// NumGates returns the instruction count (one per source-netlist gate).
+func (p *Program) NumGates() int { return len(p.op) }
+
+// NumSlots returns the scratch length Eval needs per word: one slot per
+// node plus the two constant-rail slots.
+func (p *Program) NumSlots() int { return p.numInputs + len(p.op) + 2 }
+
+// rail0 and rail1 are the value slots holding the constant rails.
+func (p *Program) rail0() int32 { return int32(p.numInputs + len(p.op)) }
+func (p *Program) rail1() int32 { return int32(p.numInputs + len(p.op) + 1) }
+
+// operand is a compile-time resolved gate input: either a value slot or a
+// known constant.
+type operand struct {
+	slot  int32
+	konst int8 // -1 variable, 0 or 1 constant
+}
+
+func (o operand) isConst() bool { return o.konst >= 0 }
+
+// word returns the packed 64-lane word of a constant operand.
+func (o operand) word() uint64 {
+	if o.konst == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// gateFn gives the packed-word function of each two-input cell kind, used
+// by the compiler to classify the residual function when one operand is a
+// known constant (probing with the variable at all-0 and all-1 decides
+// among buf, inv, const0 and const1 — bitwise functions admit nothing
+// else).
+var gateFn = map[cell.Kind]func(a, b uint64) uint64{
+	cell.And2:  func(a, b uint64) uint64 { return a & b },
+	cell.Or2:   func(a, b uint64) uint64 { return a | b },
+	cell.Nand2: func(a, b uint64) uint64 { return ^(a & b) },
+	cell.Nor2:  func(a, b uint64) uint64 { return ^(a | b) },
+	cell.Xor2:  func(a, b uint64) uint64 { return a ^ b },
+	cell.Xnor2: func(a, b uint64) uint64 { return ^(a ^ b) },
+	cell.AndN2: func(a, b uint64) uint64 { return a &^ b },
+	cell.OrN2:  func(a, b uint64) uint64 { return a | ^b },
+}
+
+var binaryOpcode = map[cell.Kind]opcode{
+	cell.And2:  opAnd2,
+	cell.Or2:   opOr2,
+	cell.Nand2: opNand2,
+	cell.Nor2:  opNor2,
+	cell.Xor2:  opXor2,
+	cell.Xnor2: opXnor2,
+	cell.AndN2: opAndN2,
+	cell.OrN2:  opOrN2,
+}
+
+// Compile lowers a netlist into a Program.  The netlist must be valid (the
+// same contract as Eval); Compile panics on malformed gates.  Compiled
+// evaluation is bit-identical to Netlist.Eval at every value slot,
+// including gates constant propagation resolves (their constant is still
+// written each pass).
+func Compile(n *Netlist) *Program {
+	p := &Program{
+		numInputs: n.NumInputs,
+		numOuts:   len(n.Outputs),
+		op:        make([]opcode, len(n.Gates)),
+		a:         make([]int32, len(n.Gates)),
+		b:         make([]int32, len(n.Gates)),
+		c:         make([]int32, len(n.Gates)),
+		outs:      make([]int32, len(n.Outputs)),
+	}
+	// konst tracks nodes proven constant at compile time (-1 unknown).
+	konst := make([]int8, n.NumNodes())
+	for i := range konst {
+		konst[i] = -1
+	}
+	resolve := func(s Signal) operand {
+		switch s {
+		case Const0:
+			return operand{slot: p.rail0(), konst: 0}
+		case Const1:
+			return operand{slot: p.rail1(), konst: 1}
+		}
+		return operand{slot: s, konst: konst[s]}
+	}
+	base := n.NumInputs
+	for i, g := range n.Gates {
+		var code opcode
+		var oa, ob, oc operand
+		oa = resolve(g.A)
+		switch cell.Arity(g.Kind) {
+		case 1:
+			code, oa = compileUnary(g.Kind, oa)
+		case 2:
+			ob = resolve(g.B)
+			code, oa, ob = compileBinary(g.Kind, oa, ob)
+		case 3:
+			ob, oc = resolve(g.B), resolve(g.C)
+			code, oa, ob, oc = compileMux(oa, ob, oc)
+		}
+		p.op[i] = code
+		// Unused operand positions point at the zero rail so the uniform
+		// operand load in Eval is always in bounds.
+		p.a[i], p.b[i], p.c[i] = p.rail0(), p.rail0(), p.rail0()
+		switch code {
+		case opConst0:
+			konst[base+i] = 0
+		case opConst1:
+			konst[base+i] = 1
+		case opBuf, opInv:
+			p.a[i] = oa.slot
+		case opMux2:
+			p.a[i], p.b[i], p.c[i] = oa.slot, ob.slot, oc.slot
+		default:
+			p.a[i], p.b[i] = oa.slot, ob.slot
+		}
+	}
+	for i, o := range n.Outputs {
+		p.outs[i] = resolve(o).slot
+	}
+	return p
+}
+
+// compileUnary folds Buf/Inv over a possibly-constant operand.
+func compileUnary(k cell.Kind, a operand) (opcode, operand) {
+	inv := k == cell.Inv
+	if !inv && k != cell.Buf {
+		panic(fmt.Sprintf("netlist: unknown unary gate kind %v", k))
+	}
+	if a.isConst() {
+		v := a.konst
+		if inv {
+			v = 1 - v
+		}
+		return constOpcode(v == 1), a
+	}
+	if inv {
+		return opInv, a
+	}
+	return opBuf, a
+}
+
+// compileBinary folds a two-input gate: both operands constant folds to a
+// constant; one constant operand reduces (by probing the gate function) to
+// buf, inv or a constant of the remaining operand; otherwise the gate maps
+// to its direct opcode.  The returned operands are ordered (a, b) for the
+// returned opcode.
+func compileBinary(k cell.Kind, a, b operand) (opcode, operand, operand) {
+	fn, ok := gateFn[k]
+	if !ok {
+		panic(fmt.Sprintf("netlist: unknown gate kind %v", k))
+	}
+	switch {
+	case a.isConst() && b.isConst():
+		return constOpcode(fn(a.word(), b.word()) != 0), a, b
+	case a.isConst():
+		return residual(fn(a.word(), 0), fn(a.word(), ^uint64(0)), b)
+	case b.isConst():
+		return residual(fn(0, b.word()), fn(^uint64(0), b.word()), a)
+	}
+	return binaryOpcode[k], a, b
+}
+
+// residual classifies f restricted to one variable from its values at the
+// all-zero and all-one words, returning the reduced opcode with the
+// variable in operand position a.
+func residual(r0, r1 uint64, v operand) (opcode, operand, operand) {
+	switch {
+	case r0 == 0 && r1 == ^uint64(0):
+		return opBuf, v, v
+	case r0 == ^uint64(0) && r1 == 0:
+		return opInv, v, v
+	case r0 == 0:
+		return opConst0, v, v
+	default:
+		return opConst1, v, v
+	}
+}
+
+// compileMux folds Mux2(sel=a, b, c) = (b &^ sel) | (c & sel) over
+// constant operands; with one constant data input it reduces to a
+// two-input gate of (other, sel).
+func compileMux(sel, b, c operand) (opcode, operand, operand, operand) {
+	if sel.isConst() {
+		picked := b
+		if sel.konst == 1 {
+			picked = c
+		}
+		code, _ := compileUnary(cell.Buf, picked)
+		return code, picked, b, c
+	}
+	switch {
+	case b.isConst() && c.isConst():
+		switch {
+		case b.konst == 0 && c.konst == 0:
+			return opConst0, sel, b, c
+		case b.konst == 1 && c.konst == 1:
+			return opConst1, sel, b, c
+		case b.konst == 0: // c = 1: output follows sel
+			return opBuf, sel, b, c
+		default: // b = 1, c = 0: output is ¬sel
+			return opInv, sel, b, c
+		}
+	case b.isConst():
+		if b.konst == 0 { // c & sel
+			return opAnd2, c, sel, c
+		}
+		return opOrN2, c, sel, c // c | ¬sel
+	case c.isConst():
+		if c.konst == 0 { // b &^ sel
+			return opAndN2, b, sel, c
+		}
+		return opOr2, b, sel, c // b | sel
+	}
+	return opMux2, sel, b, c
+}
+
+func constOpcode(one bool) opcode {
+	if one {
+		return opConst1
+	}
+	return opConst0
+}
+
+// Eval evaluates the program on 64 parallel input vectors, exactly like
+// Netlist.Eval on the source netlist: inputs[i] packs the lanes of primary
+// input i, scratch (when non-nil and of length ≥ NumSlots) avoids an
+// allocation, and the returned slice holds one packed word per output,
+// aliasing outBuf when it has sufficient capacity.
+func (p *Program) Eval(inputs []uint64, scratch []uint64, outBuf []uint64) []uint64 {
+	if len(inputs) != p.numInputs {
+		panic(fmt.Sprintf("netlist: Program.Eval got %d input words, want %d", len(inputs), p.numInputs))
+	}
+	vals := scratch
+	if len(vals) < p.NumSlots() {
+		vals = make([]uint64, p.NumSlots())
+	}
+	vals = vals[:p.NumSlots()] // pins the slotLoad/slotStore invariant
+	copy(vals, inputs)
+	vals[p.rail0()] = 0
+	vals[p.rail1()] = ^uint64(0)
+	vp := unsafe.Pointer(&vals[0]) // NumSlots ≥ 2: the rail slots exist
+	base := uintptr(p.numInputs)
+	code := p.op
+	// Re-slicing the operand streams to len(code) lets the compiler drop
+	// their per-iteration bounds checks.
+	pa, pb, pc := p.a[:len(code)], p.b[:len(code)], p.c[:len(code)]
+	for i := 0; i < len(code); i++ {
+		a := slotLoad(vp, uintptr(pa[i]))
+		var v uint64
+		switch code[i] {
+		case opBuf:
+			v = a
+		case opInv:
+			v = ^a
+		case opAnd2:
+			v = a & slotLoad(vp, uintptr(pb[i]))
+		case opOr2:
+			v = a | slotLoad(vp, uintptr(pb[i]))
+		case opNand2:
+			v = ^(a & slotLoad(vp, uintptr(pb[i])))
+		case opNor2:
+			v = ^(a | slotLoad(vp, uintptr(pb[i])))
+		case opXor2:
+			v = a ^ slotLoad(vp, uintptr(pb[i]))
+		case opXnor2:
+			v = ^(a ^ slotLoad(vp, uintptr(pb[i])))
+		case opMux2:
+			v = (slotLoad(vp, uintptr(pb[i])) &^ a) | (slotLoad(vp, uintptr(pc[i])) & a)
+		case opAndN2:
+			v = a &^ slotLoad(vp, uintptr(pb[i]))
+		case opOrN2:
+			v = a | ^slotLoad(vp, uintptr(pb[i]))
+		case opConst0:
+			v = 0
+		case opConst1:
+			v = ^uint64(0)
+		}
+		slotStore(vp, base+uintptr(i), v)
+	}
+	if cap(outBuf) < p.numOuts {
+		outBuf = make([]uint64, p.numOuts)
+	}
+	outBuf = outBuf[:p.numOuts]
+	for i, o := range p.outs {
+		outBuf[i] = vals[o]
+	}
+	return outBuf
+}
+
+// EvalBlock evaluates words×64 parallel vectors in one instruction-decode
+// pass: each value slot holds `words` consecutive packed words (input i
+// occupies inputs[i*words : (i+1)*words], output j lands in
+// outBuf[j*words : (j+1)*words] — the layout PackBitsBlock produces).
+// Decoding one instruction drives `words` independent word operations, so
+// image-sized batches amortize dispatch and expose instruction-level
+// parallelism.  scratch, when non-nil and of length ≥ NumSlots()*words,
+// avoids an allocation; the returned slice aliases outBuf when it has
+// sufficient capacity.  Lane values equal Eval run word by word; words ==
+// BlockWords takes a fully unrolled fast path.
+func (p *Program) EvalBlock(inputs []uint64, words int, scratch []uint64, outBuf []uint64) []uint64 {
+	if words <= 0 {
+		panic("netlist: Program.EvalBlock needs words >= 1")
+	}
+	if len(inputs) != p.numInputs*words {
+		panic(fmt.Sprintf("netlist: Program.EvalBlock got %d input words, want %d", len(inputs), p.numInputs*words))
+	}
+	W := words
+	vals := scratch
+	if len(vals) < p.NumSlots()*W {
+		vals = make([]uint64, p.NumSlots()*W)
+	}
+	vals = vals[:p.NumSlots()*W] // pins the slotLoad/slotStore invariant
+	copy(vals, inputs)
+	r0, r1 := int(p.rail0())*W, int(p.rail1())*W
+	for k := 0; k < W; k++ {
+		vals[r0+k] = 0
+		vals[r1+k] = ^uint64(0)
+	}
+	if W == BlockWords {
+		p.evalBlock4(vals)
+	} else {
+		p.evalBlockN(vals, W)
+	}
+	if cap(outBuf) < p.numOuts*W {
+		outBuf = make([]uint64, p.numOuts*W)
+	}
+	outBuf = outBuf[:p.numOuts*W]
+	for i, o := range p.outs {
+		copy(outBuf[i*W:(i+1)*W], vals[int(o)*W:int(o)*W+W])
+	}
+	return outBuf
+}
+
+// evalBlock4 is the unrolled BlockWords-wide instruction loop: the four
+// word operations per gate are independent, so they fill the CPU's
+// execution ports while the single dispatch cost is paid once.  The
+// slotLoad/slotStore invariant is pinned by EvalBlock (len(vals) ==
+// NumSlots×BlockWords and every slot < NumSlots).
+func (p *Program) evalBlock4(vals []uint64) {
+	const W = uintptr(BlockWords)
+	vp := unsafe.Pointer(&vals[0])
+	base := uintptr(p.numInputs)
+	code := p.op
+	pa, pb, pc := p.a[:len(code)], p.b[:len(code)], p.c[:len(code)]
+	for i := 0; i < len(code); i++ {
+		ao := uintptr(pa[i]) * W
+		bo := uintptr(pb[i]) * W
+		a0, a1, a2, a3 := slotLoad(vp, ao), slotLoad(vp, ao+1), slotLoad(vp, ao+2), slotLoad(vp, ao+3)
+		b0, b1, b2, b3 := slotLoad(vp, bo), slotLoad(vp, bo+1), slotLoad(vp, bo+2), slotLoad(vp, bo+3)
+		var v0, v1, v2, v3 uint64
+		switch code[i] {
+		case opBuf:
+			v0, v1, v2, v3 = a0, a1, a2, a3
+		case opInv:
+			v0, v1, v2, v3 = ^a0, ^a1, ^a2, ^a3
+		case opAnd2:
+			v0, v1, v2, v3 = a0&b0, a1&b1, a2&b2, a3&b3
+		case opOr2:
+			v0, v1, v2, v3 = a0|b0, a1|b1, a2|b2, a3|b3
+		case opNand2:
+			v0, v1, v2, v3 = ^(a0 & b0), ^(a1 & b1), ^(a2 & b2), ^(a3 & b3)
+		case opNor2:
+			v0, v1, v2, v3 = ^(a0 | b0), ^(a1 | b1), ^(a2 | b2), ^(a3 | b3)
+		case opXor2:
+			v0, v1, v2, v3 = a0^b0, a1^b1, a2^b2, a3^b3
+		case opXnor2:
+			v0, v1, v2, v3 = ^(a0 ^ b0), ^(a1 ^ b1), ^(a2 ^ b2), ^(a3 ^ b3)
+		case opMux2:
+			co := uintptr(pc[i]) * W
+			v0 = (b0 &^ a0) | (slotLoad(vp, co) & a0)
+			v1 = (b1 &^ a1) | (slotLoad(vp, co+1) & a1)
+			v2 = (b2 &^ a2) | (slotLoad(vp, co+2) & a2)
+			v3 = (b3 &^ a3) | (slotLoad(vp, co+3) & a3)
+		case opAndN2:
+			v0, v1, v2, v3 = a0&^b0, a1&^b1, a2&^b2, a3&^b3
+		case opOrN2:
+			v0, v1, v2, v3 = a0|^b0, a1|^b1, a2|^b2, a3|^b3
+		case opConst0:
+			v0, v1, v2, v3 = 0, 0, 0, 0
+		case opConst1:
+			m := ^uint64(0)
+			v0, v1, v2, v3 = m, m, m, m
+		}
+		do := (base + uintptr(i)) * W
+		slotStore(vp, do, v0)
+		slotStore(vp, do+1, v1)
+		slotStore(vp, do+2, v2)
+		slotStore(vp, do+3, v3)
+	}
+}
+
+// evalBlockN is the variable-width instruction loop.
+func (p *Program) evalBlockN(vals []uint64, W int) {
+	base := p.numInputs
+	code, pa, pb, pc := p.op, p.a, p.b, p.c
+	for i := 0; i < len(code); i++ {
+		av := vals[int(pa[i])*W : int(pa[i])*W+W]
+		bv := vals[int(pb[i])*W : int(pb[i])*W+W]
+		dst := vals[(base+i)*W : (base+i)*W+W]
+		av = av[:len(dst)]
+		bv = bv[:len(dst)]
+		switch code[i] {
+		case opBuf:
+			copy(dst, av)
+		case opInv:
+			for k := range dst {
+				dst[k] = ^av[k]
+			}
+		case opAnd2:
+			for k := range dst {
+				dst[k] = av[k] & bv[k]
+			}
+		case opOr2:
+			for k := range dst {
+				dst[k] = av[k] | bv[k]
+			}
+		case opNand2:
+			for k := range dst {
+				dst[k] = ^(av[k] & bv[k])
+			}
+		case opNor2:
+			for k := range dst {
+				dst[k] = ^(av[k] | bv[k])
+			}
+		case opXor2:
+			for k := range dst {
+				dst[k] = av[k] ^ bv[k]
+			}
+		case opXnor2:
+			for k := range dst {
+				dst[k] = ^(av[k] ^ bv[k])
+			}
+		case opMux2:
+			cv := vals[int(pc[i])*W : int(pc[i])*W+W]
+			cv = cv[:len(dst)]
+			for k := range dst {
+				dst[k] = (bv[k] &^ av[k]) | (cv[k] & av[k])
+			}
+		case opAndN2:
+			for k := range dst {
+				dst[k] = av[k] &^ bv[k]
+			}
+		case opOrN2:
+			for k := range dst {
+				dst[k] = av[k] | ^bv[k]
+			}
+		case opConst0:
+			for k := range dst {
+				dst[k] = 0
+			}
+		case opConst1:
+			for k := range dst {
+				dst[k] = ^uint64(0)
+			}
+		}
+	}
+}
+
+// countGateOnes accumulates, per gate, the population count of the gate's
+// value under mask into ones.  vals must be the scratch of a preceding
+// Eval call on this program.
+func (p *Program) countGateOnes(vals []uint64, mask uint64, ones []int64) {
+	base := p.numInputs
+	for i := range ones {
+		ones[i] += int64(bits.OnesCount64(vals[base+i] & mask))
+	}
+}

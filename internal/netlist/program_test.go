@@ -1,0 +1,125 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestProgramMatchesInterpreter pins Program.Eval and Program.EvalBlock
+// bit-identical to Netlist.Eval — outputs and every per-gate value slot —
+// over random netlists including constant rails, Mux2 and dead gates.
+func TestProgramMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := randomNetlist(rng, 1+rng.Intn(8), rng.Intn(60))
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid netlist: %v", trial, err)
+		}
+		p := Compile(n)
+
+		// W = BlockWords exercises the unrolled fast path, the others the
+		// generic loop; W = 1 pins one-word block parity too.
+		for _, W := range []int{1, 3, BlockWords} {
+			in := make([]uint64, n.NumInputs)
+			blockIn := make([]uint64, n.NumInputs*W)
+			interpVals := make([]uint64, n.NumNodes())
+			progVals := make([]uint64, p.NumSlots())
+			blockVals := make([]uint64, p.NumSlots()*W)
+			blockOut := make([]uint64, p.NumOutputs()*W)
+			wantW := make([][]uint64, W)
+
+			for rep := 0; rep < 3; rep++ {
+				for w := 0; w < W; w++ {
+					for i := range in {
+						v := rng.Uint64()
+						in[i] = v
+						blockIn[i*W+w] = v
+					}
+					want := n.Eval(in, interpVals, nil)
+					got := p.Eval(in, progVals, nil)
+					for j := range want {
+						if want[j] != got[j] {
+							t.Fatalf("trial %d: Eval output %d: got %x want %x", trial, j, got[j], want[j])
+						}
+					}
+					// Per-gate value slots must match too (activity analysis
+					// reads them).
+					for g := 0; g < len(n.Gates); g++ {
+						if interpVals[n.NumInputs+g] != progVals[n.NumInputs+g] {
+							t.Fatalf("trial %d: gate %d value: got %x want %x",
+								trial, g, progVals[n.NumInputs+g], interpVals[n.NumInputs+g])
+						}
+					}
+					wantW[w] = append(wantW[w][:0], want...)
+				}
+				got := p.EvalBlock(blockIn, W, blockVals, blockOut)
+				for w := 0; w < W; w++ {
+					for j := 0; j < p.NumOutputs(); j++ {
+						if got[j*W+w] != wantW[w][j] {
+							t.Fatalf("trial %d: EvalBlock(W=%d) word %d output %d: got %x want %x",
+								trial, W, w, j, got[j*W+w], wantW[w][j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestProgramEquivalentOnArith cross-checks compiled equivalence checking:
+// a netlist must stay equivalent to itself after Simplify (which rewrites
+// aggressively) under the compiled-program Equivalent.
+func TestProgramEquivalentOnArith(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := randomNetlist(rng, 1+rng.Intn(6), rng.Intn(40))
+		s := Simplify(n)
+		if err := Equivalent(n, s, 10, 4096, 1); err != nil {
+			t.Fatalf("trial %d: simplified netlist not equivalent: %v", trial, err)
+		}
+	}
+}
+
+// TestPackBitsBlockRoundTrip pins the block pack/unpack pair against the
+// single-word PackBits/UnpackBits layout.
+func TestPackBitsBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		width := 1 + rng.Intn(64)
+		words := 1 + rng.Intn(5)
+		count := 1 + rng.Intn(words*64)
+		vals := make([]uint64, count)
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = uint64(1)<<uint(width) - 1
+		}
+		for i := range vals {
+			vals[i] = rng.Uint64() & mask
+		}
+		planes := make([]uint64, width*words)
+		PackBitsBlock(vals, width, words, planes)
+		// Word w of the block must equal a standalone PackBits of that
+		// 64-lane chunk.
+		single := make([]uint64, width)
+		for w := 0; w*64 < count; w++ {
+			lo := w * 64
+			hi := lo + 64
+			if hi > count {
+				hi = count
+			}
+			PackBits(vals[lo:hi], width, single)
+			for k := 0; k < width; k++ {
+				if planes[k*words+w] != single[k] {
+					t.Fatalf("trial %d: plane (%d,%d): got %x want %x", trial, k, w, planes[k*words+w], single[k])
+				}
+			}
+		}
+		back := make([]uint64, count)
+		UnpackBitsBlock(planes, width, words, count, back)
+		for i := range vals {
+			if back[i] != vals[i] {
+				t.Fatalf("trial %d: lane %d: got %x want %x", trial, i, back[i], vals[i])
+			}
+		}
+	}
+}

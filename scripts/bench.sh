@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# bench.sh — run the key autoax benchmarks and emit machine-readable JSON.
+#
+# Usage:
+#   scripts/bench.sh                          # print flat JSON to stdout
+#   scripts/bench.sh -o run.json              # write flat JSON
+#   scripts/bench.sh -baseline before.json -o BENCH_PR4.json
+#                                             # before/after/speedup report
+#
+# Environment:
+#   BENCH_COUNT   repetitions per benchmark (default 3; fastest run kept)
+#   BENCH_FILTER  -bench regexp override (default: the benchmarks tracked
+#                 in BENCH_PR4.json)
+#
+# The trajectory benchmarks cover both paper inner loops: precise
+# configuration analysis (NetlistEval, NetlistEvalBlock, Characterize,
+# PreciseEvaluation, SSIM) and model-based estimation (ModelEstimate,
+# CompiledForestPredict, HillClimb1k), plus RandomForestFit for training.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FILTER=${BENCH_FILTER:-'^(BenchmarkNetlistEval|BenchmarkNetlistEvalBlock|BenchmarkCharacterize|BenchmarkPreciseEvaluation|BenchmarkHillClimb1k|BenchmarkModelEstimate|BenchmarkCompiledForestPredict|BenchmarkSSIM|BenchmarkSimplify|BenchmarkProfile|BenchmarkRandomForestFit)$'}
+COUNT=${BENCH_COUNT:-3}
+
+go test -run '^$' -bench "$FILTER" -benchmem -count "$COUNT" . |
+	go run ./scripts/benchjson "$@"

@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench -benchmem` output read from
+// stdin into machine-readable JSON, optionally merging a baseline run into
+// a before/after report with per-benchmark speedups.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson -o bench.json
+//	... | go run ./scripts/benchjson -baseline before.json -o BENCH_PR4.json
+//
+// Without -baseline the output is a flat run: {"benchmarks": {name:
+// {ns_per_op, b_per_op, allocs_per_op}}}.  With -baseline (a flat run
+// produced by this tool) the output holds "before", "after" and "speedup"
+// (before.ns_per_op / after.ns_per_op, for benchmarks present in both).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measured cost.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Run is a flat benchmark run.
+type Run struct {
+	Go         string             `json:"go,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+}
+
+// Report is the before/after comparison emitted with -baseline.
+type Report struct {
+	Before  map[string]Metrics `json:"before"`
+	After   map[string]Metrics `json:"after"`
+	Speedup map[string]float64 `json:"speedup"`
+	CPU     string             `json:"cpu,omitempty"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkNetlistEval-8   1000000   1048 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func main() {
+	baseline := flag.String("baseline", "", "flat-run JSON to compare against (emits before/after/speedup)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	run := Run{Benchmarks: map[string]Metrics{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		// Echo so the human sees the run too — on stderr, so the default
+		// JSON-to-stdout mode stays pipeable.
+		fmt.Fprintln(os.Stderr, line)
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			run.CPU = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		var met Metrics
+		met.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			met.BPerOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			met.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		// Repeated -count runs: keep the fastest, the conventional
+		// benchmark summary statistic.
+		if prev, ok := run.Benchmarks[name]; !ok || met.NsPerOp < prev.NsPerOp {
+			run.Benchmarks[name] = met
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(run.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	var payload any = run
+	if *baseline != "" {
+		b, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		var base Run
+		if err := json.Unmarshal(b, &base); err != nil {
+			fatal(fmt.Errorf("parsing baseline %s: %w", *baseline, err))
+		}
+		rep := Report{Before: base.Benchmarks, After: run.Benchmarks, Speedup: map[string]float64{}, CPU: run.CPU}
+		for name, after := range run.Benchmarks {
+			if before, ok := base.Benchmarks[name]; ok && after.NsPerOp > 0 {
+				rep.Speedup[name] = round3(before.NsPerOp / after.NsPerOp)
+			}
+		}
+		payload = rep
+	}
+
+	enc, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}
+
+func round3(v float64) float64 {
+	return float64(int64(v*1000+0.5)) / 1000
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
