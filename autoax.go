@@ -270,6 +270,15 @@ var HillClimb = dse.HillClimb
 // RandomSearch runs the random-sampling baseline.
 var RandomSearch = dse.RandomSearch
 
+// RandomSearchBatch runs the random-sampling baseline through a batched
+// estimator (Models.BatchEstimator) — set-equal to RandomSearch with the
+// same seed, with estimateBatch-sized struct-of-arrays model inference.
+var RandomSearchBatch = dse.RandomSearchBatch
+
+// BatchEstimator estimates many configurations per call; obtain one from
+// Models.BatchEstimator.
+type BatchEstimator = dse.BatchEstimator
+
 // UniformSelection runs the paper's manual uniform-error baseline.
 var UniformSelection = dse.UniformSelection
 

@@ -208,6 +208,45 @@ func benchEvaluateAll(b *testing.B, parallelism int) {
 // batch the sharded path is measured against.
 func BenchmarkEvaluateAllSequential(b *testing.B) { benchEvaluateAll(b, 1) }
 
+// BenchmarkEvaluateAllCached measures a precise-evaluation batch in which
+// configurations repeat — the DSE steady state (train/test overlap,
+// Pareto-set re-evaluation, duplicate draws in small spaces) — so the
+// shared compiled-program cache amortizes Flatten+Simplify+Compile
+// across the batch instead of redoing it per configuration.
+func BenchmarkEvaluateAllCached(b *testing.B) {
+	lib, err := autoax.BuildLibrary([]autoax.LibrarySpec{
+		{Op: autoax.OpAdd(8), Count: 12},
+		{Op: autoax.OpAdd(9), Count: 12},
+		{Op: autoax.OpSub(10), Count: 10},
+	}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := apps.Sobel()
+	ev, err := accel.NewEvaluator(app, imagedata.BenchmarkSet(2, 64, 48, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := app.Graph.OpNodes()
+	space := make(dse.Space, len(ops))
+	for i, id := range ops {
+		space[i] = lib.For(app.Graph.Nodes[id].Op)
+	}
+	// 4 distinct configurations repeated 4× each: 16 evaluations, 4
+	// synthesis runs once the cache is warm.
+	distinct := space.RandomConfigs(4, 3)
+	var cfgs [][]int
+	for r := 0; r < 4; r++ {
+		cfgs = append(cfgs, distinct...)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.EvaluateAllParallel(context.Background(), ev, space, cfgs, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkEvaluateAllSharded4 fans the same batch out over 4 per-worker
 // evaluator shards (the paper's dominant wall-clock cost, parallelized).
 func BenchmarkEvaluateAllSharded4(b *testing.B) { benchEvaluateAll(b, 4) }
@@ -231,17 +270,55 @@ func BenchmarkModelEstimate(b *testing.B) {
 }
 
 // BenchmarkHillClimb1k measures 1000 iterations of Algorithm 1 over the
-// Sobel reduced space with trained models.
+// Sobel reduced space with trained models — the models-backed incremental
+// climb that core.Pipeline.Explore runs (bit-identical to the generic
+// estimator path, see TestModelsHillClimbMatchesGeneric).
 func BenchmarkHillClimb1k(b *testing.B) {
 	s := benchSetup(b)
 	pipe, err := s.Pipeline("sobel")
 	if err != nil {
 		b.Fatal(err)
 	}
-	est := pipe.Models.Estimator()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dse.HillClimb(pipe.Space, est, dse.SearchOptions{Evaluations: 1000, Seed: int64(i)})
+		pipe.Models.HillClimb(dse.SearchOptions{Evaluations: 1000, Seed: int64(i)})
+	}
+}
+
+// BenchmarkModelEstimateBatch measures estimateBatchSize-configuration
+// batched estimation through Models.BatchEstimator (struct-of-arrays
+// features + ml.CompiledForest.PredictBatch) — the per-configuration
+// counterpart of BenchmarkModelEstimate for the batched search loops.
+func BenchmarkModelEstimateBatch(b *testing.B) {
+	s := benchSetup(b)
+	pipe, err := s.Pipeline("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := pipe.Models.BatchEstimator()
+	const n = 256
+	cfgs := pipe.Space.RandomConfigs(n, 5)
+	qor := make([]float64, n)
+	hw := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est(cfgs, qor, hw)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/config")
+}
+
+// BenchmarkRandomSearch1k measures 1000 evaluations of the batched
+// random-sampling baseline over the Sobel reduced space.
+func BenchmarkRandomSearch1k(b *testing.B) {
+	s := benchSetup(b)
+	pipe, err := s.Pipeline("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := pipe.Models.BatchEstimator()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dse.RandomSearchBatch(pipe.Space, est, dse.SearchOptions{Evaluations: 1000, Seed: int64(i)})
 	}
 }
 

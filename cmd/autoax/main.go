@@ -172,12 +172,18 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "directory for the content-addressed artifact cache (empty = memory only)")
 	evalParallel := fs.Int("eval-parallel", 0, "default per-job precise-evaluation workers for requests that leave parallelism unset (0 = divide cores across the worker pool)")
+	cacheMemMB := fs.Int64("cache-mem-mb", 0, "in-memory artifact cache budget in MiB; LRU entries are evicted beyond it (0 = unbounded; the disk tier is never bounded)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv, err := axserver.New(axserver.Options{Workers: *workers, CacheDir: *cacheDir, EvalParallelism: *evalParallel})
+	srv, err := axserver.New(axserver.Options{
+		Workers:         *workers,
+		CacheDir:        *cacheDir,
+		EvalParallelism: *evalParallel,
+		MemCacheBytes:   *cacheMemMB << 20,
+	})
 	if err != nil {
 		return err
 	}
@@ -497,8 +503,8 @@ commands:
                                         for custom accelerators)
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
-  serve [-addr :8080] [-workers N] [-cache-dir DIR] [-eval-parallel N]
-        [-pprof ADDR]
+  serve [-addr :8080] [-workers N] [-cache-dir DIR] [-cache-mem-mb N]
+        [-eval-parallel N] [-pprof ADDR]
                                         run the asynchronous HTTP job service
   version                               print the version
 

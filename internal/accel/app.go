@@ -176,6 +176,11 @@ type evalShared struct {
 	simPlanes [][]uint64           // [sim][extraBitPlane×words] broadcast
 
 	headBits int // number of tap bit-planes
+
+	// progs caches Flatten+Simplify+Compile per configuration, keyed by
+	// the structural hashes of the selected circuits; shared by all
+	// clones (internally synchronized, per-key singleflight).
+	progs *programCache
 }
 
 // Evaluator performs precise (simulation + synthesis) evaluation of
@@ -237,7 +242,11 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 		}
 	}
 	const W = evalBlockWords
-	sh := &evalShared{gp: compileGraph(app.Graph), headBits: 8 * len(app.Taps)}
+	sh := &evalShared{
+		gp:       compileGraph(app.Graph),
+		headBits: 8 * len(app.Taps),
+		progs:    newProgramCache(DefaultProgramCacheEntries),
+	}
 	e := &Evaluator{App: app, Images: images, shared: sh, ActivityBatches: 16, Metric: ssim.SSIM}
 
 	// Exact references, through the shared compiled graph program.
@@ -305,7 +314,8 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 }
 
 // Synthesize flattens and simplifies cfg's netlist: the accelerator-level
-// synthesis step.
+// synthesis step.  It always synthesizes fresh; Evaluate goes through the
+// shared compiled-program cache instead.
 func (e *Evaluator) Synthesize(cfg Configuration) (*netlist.Netlist, error) {
 	flat, err := Flatten(e.App.Graph, cfg)
 	if err != nil {
@@ -314,17 +324,52 @@ func (e *Evaluator) Synthesize(cfg Configuration) (*netlist.Netlist, error) {
 	return netlist.Simplify(flat), nil
 }
 
+// SetProgramCacheLimit bounds the shared compiled-program cache to n
+// entries (evicting down immediately); n ≤ 0 disables caching.  The cache
+// — and therefore this setting — is shared with every clone of this
+// evaluator.
+func (e *Evaluator) SetProgramCacheLimit(n int) { e.shared.progs.setLimit(n) }
+
+// ProgramCacheStats snapshots the shared compiled-program cache counters.
+func (e *Evaluator) ProgramCacheStats() ProgramCacheStats { return e.shared.progs.stats() }
+
+// compiled returns cfg's simplified netlist and compiled program, served
+// from the shared program cache when possible.  Cached artifacts are
+// read-only and shared across clones; configurations selecting
+// structurally identical circuits (even under different names) share one
+// entry, so re-evaluating a Pareto set or overlapping batches amortizes
+// Flatten+Simplify+Compile instead of redoing it per call.
+func (e *Evaluator) compiled(cfg Configuration) (compiledConfig, error) {
+	build := func() (compiledConfig, error) {
+		simp, err := e.Synthesize(cfg)
+		if err != nil {
+			return compiledConfig{}, err
+		}
+		return compiledConfig{simp: simp, prog: netlist.Compile(simp)}, nil
+	}
+	pc := e.shared.progs
+	if pc.limit() <= 0 {
+		return build()
+	}
+	// Key the tuple only for configurations the graph accepts — keying
+	// would index nil or mismatched circuits otherwise.
+	if err := CheckConfiguration(e.App.Graph, cfg); err != nil {
+		return compiledConfig{}, err
+	}
+	return pc.get(pc.configKey(cfg), build)
+}
+
 // Evaluate performs the full precise analysis of one configuration:
 // synthesis for hardware cost, then block-packed simulation of the
 // compiled program over every (simulation, image) pair for QoR —
 // evalBlockWords×64 pixels per instruction-decode pass.
 func (e *Evaluator) Evaluate(cfg Configuration) (Result, error) {
-	simp, err := e.Synthesize(cfg)
+	art, err := e.compiled(cfg)
 	if err != nil {
 		return Result{}, err
 	}
+	simp, prog := art.simp, art.prog
 	const W = evalBlockWords
-	prog := netlist.Compile(simp)
 	if len(e.progScratch) < prog.NumSlots()*W {
 		e.progScratch = make([]uint64, prog.NumSlots()*W)
 	}

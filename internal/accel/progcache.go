@@ -1,0 +1,200 @@
+package accel
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+
+	"autoax/internal/acl"
+	"autoax/internal/netlist"
+)
+
+// DefaultProgramCacheEntries is the default size cap of an evaluator's
+// compiled-program cache.  A cached entry is a simplified netlist plus its
+// compiled instruction stream — a few hundred KB for the paper-scale
+// accelerators — so the default bounds the cache to tens of MB while
+// still covering the working set of a Pareto-front re-evaluation.
+const DefaultProgramCacheEntries = 256
+
+// compiledConfig is one cached synthesis artifact: the simplified netlist
+// of a configuration and its compiled program.  Both are immutable after
+// construction and safe for concurrent use (programs take caller-owned
+// scratch), which is what lets every Evaluator clone share one cache.
+type compiledConfig struct {
+	simp *netlist.Netlist
+	prog *netlist.Program
+}
+
+// progFlight is one cache slot: done is closed when the leader finishes
+// building, after which art/err are immutable.  elem is the entry's LRU
+// position, nil while the build is still in flight (in-flight entries are
+// never evicted).
+type progFlight struct {
+	key  string
+	done chan struct{}
+	art  compiledConfig
+	err  error
+	elem *list.Element
+}
+
+// programCache memoizes Flatten+Simplify+Compile per configuration,
+// keyed by the tuple of structural circuit hashes (acl.StructuralKey).
+// It is shared by every clone of an Evaluator and bounded by an LRU cap;
+// concurrent requests for the same key are coalesced so N clones racing
+// on one configuration synthesize it once.  Safe for concurrent use.
+type programCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*progFlight
+	lru     *list.List // of *progFlight, front = most recently used
+
+	// circuitKeys memoizes acl.StructuralKey per circuit pointer: a DSE
+	// batch draws every configuration from one library, so each circuit
+	// is hashed once and then looked up by identity.
+	circuitKeys map[*acl.Circuit]string
+
+	hits, misses, coalesced, evictions int64
+}
+
+// ProgramCacheStats reports the effectiveness of an evaluator's
+// compiled-program cache.  Every get counts exactly once: a hit (served
+// from a completed entry), a coalesced wait (shared a concurrent build's
+// successful result), or a miss (ran the build as leader) — so the miss
+// count equals the number of builds actually executed.
+type ProgramCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Evictions int64
+	Entries   int
+}
+
+func newProgramCache(capacity int) *programCache {
+	return &programCache{
+		cap:         capacity,
+		entries:     make(map[string]*progFlight),
+		lru:         list.New(),
+		circuitKeys: make(map[*acl.Circuit]string),
+	}
+}
+
+// configKey returns the cache key of cfg: the concatenated structural
+// hashes of its circuits in operation order.  The evaluator's graph is
+// fixed, so the circuit tuple fully determines the flattened netlist.
+// Hashing an unseen circuit (JSON + SHA-256 over its whole netlist) runs
+// outside the cache mutex so a cold-start batch of clones doesn't
+// serialize on it — a racing double-compute is idempotent and the second
+// writer just overwrites the identical string.
+func (pc *programCache) configKey(cfg Configuration) string {
+	var b strings.Builder
+	b.Grow(len(cfg) * 65)
+	for _, c := range cfg {
+		pc.mu.Lock()
+		k, ok := pc.circuitKeys[c]
+		pc.mu.Unlock()
+		if !ok {
+			k = acl.StructuralKey(c)
+			pc.mu.Lock()
+			pc.circuitKeys[c] = k
+			pc.mu.Unlock()
+		}
+		b.WriteString(k)
+		b.WriteByte('/')
+	}
+	return b.String()
+}
+
+// get returns the compiled artifact for key, building it via build on a
+// miss.  Concurrent callers for the same key are coalesced: one leader
+// runs build, the rest wait on its flight and share a successful result.
+// Build failures are not cached and not shared — a waiter whose leader
+// failed retries the lookup and, if the key is still absent, becomes the
+// next leader — and a build panic is converted into the flight's error so
+// waiters are never left parked.
+func (pc *programCache) get(key string, build func() (compiledConfig, error)) (compiledConfig, error) {
+	for {
+		pc.mu.Lock()
+		if f, ok := pc.entries[key]; ok {
+			if f.elem != nil { // completed entry: a plain hit
+				pc.lru.MoveToFront(f.elem)
+				pc.hits++
+				pc.mu.Unlock()
+				return f.art, f.err
+			}
+			pc.mu.Unlock()
+			<-f.done
+			if f.err == nil {
+				pc.mu.Lock()
+				pc.coalesced++
+				pc.mu.Unlock()
+				return f.art, nil
+			}
+			continue // leader failed: retry, possibly becoming the leader
+		}
+		f := &progFlight{key: key, done: make(chan struct{})}
+		pc.entries[key] = f
+		pc.misses++
+		pc.mu.Unlock()
+
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					f.err = fmt.Errorf("accel: compiling configuration panicked: %v", r)
+				}
+				close(f.done)
+			}()
+			f.art, f.err = build()
+		}()
+
+		pc.mu.Lock()
+		if f.err != nil {
+			delete(pc.entries, key)
+		} else {
+			f.elem = pc.lru.PushFront(f)
+			for pc.lru.Len() > pc.cap {
+				old := pc.lru.Back().Value.(*progFlight)
+				pc.lru.Remove(old.elem)
+				delete(pc.entries, old.key)
+				pc.evictions++
+			}
+		}
+		pc.mu.Unlock()
+		return f.art, f.err
+	}
+}
+
+// stats snapshots the cache counters.
+func (pc *programCache) stats() ProgramCacheStats {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return ProgramCacheStats{
+		Hits:      pc.hits,
+		Misses:    pc.misses,
+		Coalesced: pc.coalesced,
+		Evictions: pc.evictions,
+		Entries:   pc.lru.Len(),
+	}
+}
+
+// setLimit resizes the cache cap, evicting down immediately; n ≤ 0
+// disables caching for subsequent Evaluate calls (existing completed
+// entries are dropped).
+func (pc *programCache) setLimit(n int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	pc.cap = n
+	for pc.lru.Len() > 0 && pc.lru.Len() > pc.cap {
+		old := pc.lru.Back().Value.(*progFlight)
+		pc.lru.Remove(old.elem)
+		delete(pc.entries, old.key)
+		pc.evictions++
+	}
+}
+
+// limit returns the current cap.
+func (pc *programCache) limit() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.cap
+}

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+
+	"autoax/internal/netlist"
 )
 
 // CanonicalKey returns a content-addressed identity for a library build:
@@ -37,4 +39,28 @@ func CanonicalKey(specs []BuildSpec, seed int64, opts Options) string {
 func HashBytes(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
+}
+
+// StructuralKey returns a content-addressed identity for a circuit's
+// post-synthesis structure: the hex SHA-256 of the canonical JSON of its
+// operation and gate-level netlist, name-invariant (renamed but
+// structurally identical circuits share a key).  Two circuits with equal
+// keys flatten into identical logic, which is the property the accel
+// compiled-program cache keys on.  Behavioural equivalence is NOT enough
+// here — two netlists computing the same function with different gates
+// synthesize to different areas — so the key covers the exact structure,
+// not the Sig fingerprint.
+func StructuralKey(c *Circuit) string {
+	canon := struct {
+		Op      Op               `json:"op"`
+		Inputs  int              `json:"inputs"`
+		Gates   []netlist.Gate   `json:"gates"`
+		Outputs []netlist.Signal `json:"outputs"`
+	}{Op: c.Op, Inputs: c.Netlist.NumInputs, Gates: c.Netlist.Gates, Outputs: c.Netlist.Outputs}
+	b, err := json.Marshal(canon)
+	if err != nil {
+		// Unreachable: the struct holds only ints and int-typed slices.
+		panic("acl: structural key encoding: " + err.Error())
+	}
+	return HashBytes(b)
 }

@@ -1,6 +1,7 @@
 package axserver
 
 import (
+	"container/list"
 	"context"
 	"fmt"
 	"os"
@@ -14,14 +15,21 @@ import (
 // canonical hash of the inputs that produced them (see acl.CanonicalKey),
 // so identical requests hit instead of recomputing.  Entries live in
 // memory and, when a directory is configured, on disk — a restarted server
-// warms from disk on first access.  Concurrent identical computations are
-// coalesced (GetOrCompute), so N workers racing on the same key run the
-// build once.  Safe for concurrent use.
+// warms from disk on first access.  The memory tier can be bounded by a
+// byte budget (NewCacheSized): least-recently-used entries are evicted
+// once the budget is exceeded, while the disk tier stays unbounded and
+// keeps self-healing, so an evicted artifact is re-promoted from disk on
+// its next use instead of being recomputed.  Concurrent identical
+// computations are coalesced (GetOrCompute), so N workers racing on the
+// same key run the build once.  Safe for concurrent use.
 type Cache struct {
-	dir string // "" = memory-only
+	dir      string // "" = memory-only
+	maxBytes int64  // ≤ 0 = unbounded memory tier
 
-	mu  sync.RWMutex
-	mem map[string][]byte
+	mu       sync.Mutex
+	mem      map[string]*memEntry
+	lru      *list.List // of string keys; front = most recently used
+	memBytes int64
 
 	// flights tracks in-progress computations per key (singleflight).
 	fmu     sync.Mutex
@@ -30,6 +38,13 @@ type Cache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
+	evictions atomic.Int64
+}
+
+// memEntry is one memory-tier entry with its LRU position.
+type memEntry struct {
+	data []byte
+	elem *list.Element
 }
 
 // flight is one in-progress computation; done is closed once b/err are
@@ -43,14 +58,29 @@ type flight struct {
 }
 
 // NewCache returns a cache persisting under dir (created if missing), or a
-// memory-only cache when dir is empty.
+// memory-only cache when dir is empty.  The memory tier is unbounded; use
+// NewCacheSized to cap it.
 func NewCache(dir string) (*Cache, error) {
+	return NewCacheSized(dir, 0)
+}
+
+// NewCacheSized is NewCache with a memory-tier byte budget: once the
+// summed entry sizes exceed memBudget, least-recently-used entries are
+// evicted (an entry alone larger than the budget is not kept in memory at
+// all).  memBudget ≤ 0 means unbounded.  The disk tier is never bounded.
+func NewCacheSized(dir string, memBudget int64) (*Cache, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("axserver: cache dir: %w", err)
 		}
 	}
-	return &Cache{dir: dir, mem: make(map[string][]byte), flights: make(map[string]*flight)}, nil
+	return &Cache{
+		dir:      dir,
+		maxBytes: memBudget,
+		mem:      make(map[string]*memEntry),
+		lru:      list.New(),
+		flights:  make(map[string]*flight),
+	}, nil
 }
 
 // path maps a namespaced key ("library/<hash>") to its on-disk file.  The
@@ -69,21 +99,73 @@ func (c *Cache) path(key string) string {
 	return filepath.Join(c.dir, enc+".json")
 }
 
-// lookup returns the cached bytes for key without touching the counters.
-// A memory miss falls through to disk and promotes the entry.
-func (c *Cache) lookup(key string) ([]byte, bool) {
-	c.mu.RLock()
-	b, ok := c.mem[key]
-	c.mu.RUnlock()
-	if !ok && c.dir != "" {
-		if d, err := os.ReadFile(c.path(key)); err == nil {
-			c.mu.Lock()
-			c.mem[key] = d
-			c.mu.Unlock()
-			b, ok = d, true
+// store inserts (or refreshes) key in the memory tier and evicts from the
+// LRU tail until the byte budget holds.  An entry alone larger than the
+// whole budget is handled by tier: with a disk tier it is not admitted at
+// all (admitting would flush every resident entry only to be re-read from
+// disk anyway, and skipping displaces nothing, so it counts no eviction);
+// in a memory-only cache it is admitted and the colder entries are
+// evicted, because memory is the only place the artifact can live and
+// recomputing it on every request would be far worse than a flushed hot
+// set.  The newest entry itself is never evicted, so every stored
+// artifact remains cached somewhere.  Caller must hold c.mu.
+func (c *Cache) store(key string, data []byte) {
+	if c.maxBytes > 0 && int64(len(data)) > c.maxBytes && c.dir != "" {
+		if e, ok := c.mem[key]; ok { // drop any stale resident version
+			c.lru.Remove(e.elem)
+			c.memBytes -= int64(len(e.data))
+			delete(c.mem, key)
 		}
+		return
 	}
-	return b, ok
+	if e, ok := c.mem[key]; ok {
+		c.memBytes += int64(len(data)) - int64(len(e.data))
+		e.data = data
+		c.lru.MoveToFront(e.elem)
+	} else {
+		e := &memEntry{data: data}
+		e.elem = c.lru.PushFront(key)
+		c.mem[key] = e
+		c.memBytes += int64(len(data))
+	}
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.memBytes > c.maxBytes && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		k := back.Value.(string)
+		e := c.mem[k]
+		c.lru.Remove(back)
+		delete(c.mem, k)
+		c.memBytes -= int64(len(e.data))
+		c.evictions.Add(1)
+	}
+}
+
+// lookup returns the cached bytes for key without touching the counters,
+// promoting the entry to most-recently-used.  A memory miss falls through
+// to disk and promotes the entry into the memory tier (which may evict
+// colder entries under a byte budget).
+func (c *Cache) lookup(key string) ([]byte, bool) {
+	c.mu.Lock()
+	if e, ok := c.mem[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		b := e.data
+		c.mu.Unlock()
+		return b, true
+	}
+	c.mu.Unlock()
+	if c.dir == "" {
+		return nil, false
+	}
+	d, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.store(key, d)
+	c.mu.Unlock()
+	return d, true
 }
 
 // Get returns the cached bytes for key.  Hit/miss counters reflect the
@@ -98,11 +180,12 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put stores the bytes under key in memory and, when configured, on disk
-// via an atomic rename so readers never observe a partial artifact.
+// Put stores the bytes under key in memory (subject to the byte budget)
+// and, when configured, on disk via an atomic rename so readers never
+// observe a partial artifact.
 func (c *Cache) Put(key string, data []byte) error {
 	c.mu.Lock()
-	c.mem[key] = data
+	c.store(key, data)
 	c.mu.Unlock()
 	if c.dir == "" {
 		return nil
@@ -202,23 +285,30 @@ func (c *Cache) lead(f *flight, key string, compute func() ([]byte, error)) (b [
 // instead of failing forever on the poisoned key.
 func (c *Cache) Delete(key string) {
 	c.mu.Lock()
-	delete(c.mem, key)
+	if e, ok := c.mem[key]; ok {
+		c.lru.Remove(e.elem)
+		c.memBytes -= int64(len(e.data))
+		delete(c.mem, key)
+	}
 	c.mu.Unlock()
 	if c.dir != "" {
 		os.Remove(c.path(key))
 	}
 }
 
-// Stats returns the hit/miss/coalesced counters and the in-memory entry
-// count.
+// Stats returns the hit/miss/coalesced/eviction counters and the current
+// memory-tier footprint.
 func (c *Cache) Stats() CacheStats {
-	c.mu.RLock()
+	c.mu.Lock()
 	n := len(c.mem)
-	c.mu.RUnlock()
+	bytes := c.memBytes
+	c.mu.Unlock()
 	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
 		Entries:   n,
+		MemBytes:  bytes,
 	}
 }

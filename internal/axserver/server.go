@@ -57,6 +57,11 @@ type Options struct {
 	// default configuration cannot oversubscribe; set it explicitly to
 	// trade per-job latency against cross-job throughput.
 	EvalParallelism int
+	// MemCacheBytes bounds the in-memory artifact cache: beyond this many
+	// bytes, least-recently-used entries are evicted (they remain
+	// reachable through the disk tier when CacheDir is set).  0 keeps the
+	// memory tier unbounded.
+	MemCacheBytes int64
 }
 
 // Server owns the job manager, the worker pool and the artifact cache.
@@ -81,7 +86,10 @@ func New(opts Options) (*Server, error) {
 	if opts.Workers < 1 {
 		return nil, fmt.Errorf("axserver: workers must be positive, got %d", opts.Workers)
 	}
-	cache, err := NewCache(opts.CacheDir)
+	if opts.MemCacheBytes < 0 {
+		return nil, fmt.Errorf("axserver: memory cache budget must be non-negative, got %d", opts.MemCacheBytes)
+	}
+	cache, err := NewCacheSized(opts.CacheDir, opts.MemCacheBytes)
 	if err != nil {
 		return nil, err
 	}

@@ -254,7 +254,12 @@ type CacheStats struct {
 	// computation already in flight (singleflight) instead of recomputing
 	// or racing to fill the cache.
 	Coalesced int64 `json:"coalesced"`
+	// Evictions counts memory-tier entries dropped to stay inside the
+	// configured byte budget (disk entries are never evicted).
+	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
+	// MemBytes is the summed size of the memory-tier entries.
+	MemBytes int64 `json:"memBytes"`
 }
 
 // Stats is the payload of GET /v1/stats.

@@ -252,7 +252,9 @@ func (p *Pipeline) ExploreContext(ctx context.Context) error {
 			return err
 		}
 	}
-	pseudo, err := dse.HillClimbContext(ctx, p.Space, p.Models.Estimator(), dse.SearchOptions{
+	// The models-backed climb patches neighbor features incrementally and
+	// is bit-identical to the generic estimator path.
+	pseudo, err := p.Models.HillClimbContext(ctx, dse.SearchOptions{
 		Evaluations: p.Opt.SearchEvals,
 		Stagnation:  p.Opt.Stagnation,
 		Seed:        p.Opt.Seed + 300,

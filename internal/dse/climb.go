@@ -1,0 +1,238 @@
+package dse
+
+import (
+	"context"
+	"math/bits"
+	"math/rand"
+
+	"autoax/internal/pareto"
+)
+
+// climbPredictor is the per-model seam of the incremental hill climb:
+// Reset evaluates a fresh point, Move re-evaluates after the listed
+// feature slots were edited in place, and Accept/Reject resolve the move.
+type climbPredictor interface {
+	Reset(x []float64) float64
+	Move(x []float64, changed []int) float64
+	Accept()
+	Reject()
+}
+
+// fullPredictor adapts a stateless prediction function (non-forest
+// engines) to the climbPredictor seam by recomputing from the full
+// feature vector on every call.
+type fullPredictor struct{ fn func([]float64) float64 }
+
+func (p fullPredictor) Reset(x []float64) float64         { return p.fn(x) }
+func (p fullPredictor) Move(x []float64, _ []int) float64 { return p.fn(x) }
+func (p fullPredictor) Accept()                           {}
+func (p fullPredictor) Reject()                           {}
+
+// HillClimb runs Algorithm 1 directly on the models with incremental
+// neighbor features; see HillClimbContext.
+func (m *Models) HillClimb(opt SearchOptions) *pareto.Archive[[]int] {
+	a, _ := m.HillClimbContext(context.Background(), opt)
+	return a
+}
+
+// HillClimbContext is the models-backed fast path of Algorithm 1.  It is
+// bit-identical to
+//
+//	dse.HillClimbContext(ctx, m.Space, m.Estimator(), opt)
+//
+// — same rng draw sequence, same estimates, same archive — but avoids the
+// generic path's per-iteration costs: the one-operation neighbor move
+// overwrites 1 QoR and 3 HW feature slots in place (undoing them on
+// reject) instead of rebuilding both feature vectors, forest-backed
+// models predict through ml.IncrementalPredictor (only trees whose
+// realized paths tested a changed feature are re-walked, with
+// undo-on-reject), the candidate configuration is materialized only when
+// the archive accepts it, and no per-iteration allocations are performed
+// outside archive growth.
+func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pareto.Archive[[]int], error) {
+	m.compile()
+	opt = opt.withDefaults()
+	s := m.Space
+	n := len(s)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	archive := &pareto.Archive[[]int]{}
+
+	var qp, hp climbPredictor
+	if m.qorCF != nil {
+		qp = m.qorCF.NewIncremental()
+	} else {
+		qp = fullPredictor{m.qorPred}
+	}
+	if m.hwCF != nil {
+		hp = m.hwCF.NewIncremental()
+	} else {
+		hp = fullPredictor{m.hwPred}
+	}
+
+	parent := s.RandomConfig(rng)
+	fq := s.QoRFeaturesInto(parent, make([]float64, n))
+	fh := s.HWFeaturesInto(parent, make([]float64, 3*n))
+	archive.Insert(point(qp.Reset(fq), hp.Reset(fh)), append([]int(nil), parent...))
+	stagnant, restarts := 0, 0
+	var orderBuf []int
+	var cq [1]int
+	var ch [3]int
+
+	// Candidate memo.  Estimates are deterministic in the configuration,
+	// and Covered is monotone — an insert only evicts points the new one
+	// dominates, so an archived cover of p can only ever be replaced by a
+	// stronger cover — which means every candidate the climb has already
+	// evaluated (accepted or rejected) is certain to be rejected if it is
+	// ever drawn again.  The repeat can therefore skip prediction and
+	// archive probe entirely with no observable difference from the
+	// generic path.
+	//
+	// When the whole configuration packs into 64 bits the memo is a
+	// global set keyed by the packed candidate (O(1) incremental packing
+	// per move).  Otherwise it degrades to a per-parent (op, circuit)
+	// table stamped by epoch: the parent is fixed within an epoch, so
+	// (op, circuit) identifies the candidate.
+	packShift, packable := packPlan(s)
+	var seen map[uint64]struct{}
+	var packParent uint64
+	maxLib := 0
+	for _, lib := range s {
+		if len(lib) > maxLib {
+			maxLib = len(lib)
+		}
+	}
+	var seenEpoch []uint64
+	if packable {
+		seen = make(map[uint64]struct{}, 1024)
+		packParent = packConfig(parent, packShift)
+		seen[packParent] = struct{}{} // the initial insert was evaluated
+	} else {
+		seenEpoch = make([]uint64, n*maxLib)
+	}
+	epoch := uint64(1)
+	for evals := 1; evals < opt.Evaluations; evals++ {
+		if evals%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return archive, err
+			}
+		}
+		// The neighbor move is applied to parent in place; the four
+		// touched feature slots are plain copies of circuit fields, so
+		// patching them reproduces a full recomputation bit for bit.
+		k, nv, moved := s.neighborMove(parent, rng)
+		accepted := false
+		if moved {
+			repeat := false
+			var packCand uint64
+			var idx int
+			if packable {
+				// Modular arithmetic keeps the incremental pack exact:
+				// the field update never overflows its bit allocation.
+				packCand = packParent + uint64(int64(nv-parent[k]))<<packShift[k]
+				_, repeat = seen[packCand]
+			} else {
+				idx = k*maxLib + nv
+				repeat = seenEpoch[idx] == epoch
+			}
+			if !repeat {
+				old := parent[k]
+				parent[k] = nv
+				c := s[k][nv]
+				fq[k] = c.WMED
+				fh[k] = c.Area
+				fh[n+k] = c.Power
+				fh[2*n+k] = c.Delay
+				cq[0] = k
+				ch[0], ch[1], ch[2] = k, n+k, 2*n+k
+				q := qp.Move(fq, cq[:])
+				h := hp.Move(fh, ch[:])
+				if packable {
+					// Evaluated once means certainly rejected forever
+					// after: accepted points sit in the archive (or were
+					// evicted by a dominator), rejected points stay
+					// covered by monotonicity.
+					seen[packCand] = struct{}{}
+				}
+				if pt := point(q, h); !archive.Covered(pt) {
+					archive.Insert(pt, append([]int(nil), parent...))
+					qp.Accept()
+					hp.Accept()
+					packParent = packCand
+					epoch++
+					accepted = true
+				} else { // rejected: memoize, undo move and feature patch
+					if !packable {
+						seenEpoch[idx] = epoch
+					}
+					qp.Reject()
+					hp.Reject()
+					parent[k] = old
+					co := s[k][old]
+					fq[k] = co.WMED
+					fh[k] = co.Area
+					fh[n+k] = co.Power
+					fh[2*n+k] = co.Delay
+				}
+			}
+			// Memo hit: a repeat of an already-evaluated candidate —
+			// certain rejection, nothing to recompute.
+		} else {
+			// No operation can move: the candidate equals the parent, and
+			// the generic path's insert attempt of the already-archived
+			// point is a certain rejection.
+		}
+		if accepted {
+			stagnant = 0
+			continue
+		}
+		stagnant++
+		if stagnant >= opt.Stagnation {
+			// Same restart policy (and rng draws) as the generic path:
+			// odd restarts draw an archived member by insertion order,
+			// even restarts a fresh random configuration.
+			restarts++
+			if restarts%2 == 1 {
+				orderBuf = archive.InsertionOrder(orderBuf)
+				pick := orderBuf[rng.Intn(len(orderBuf))]
+				copy(parent, archive.Payloads()[pick])
+			} else {
+				s.RandomConfigInto(rng, parent)
+			}
+			s.QoRFeaturesInto(parent, fq)
+			s.HWFeaturesInto(parent, fh)
+			qp.Reset(fq)
+			hp.Reset(fh)
+			if packable {
+				packParent = packConfig(parent, packShift)
+			}
+			epoch++ // new parent: the per-parent memo no longer applies
+			stagnant = 0
+		}
+	}
+	return archive, nil
+}
+
+// packPlan assigns each operation a bit field wide enough for its library
+// and reports whether the whole configuration fits in 64 bits.  shift[i]
+// is operation i's field offset.
+func packPlan(s Space) (shift []int, ok bool) {
+	shift = make([]int, len(s))
+	total := 0
+	for i, lib := range s {
+		shift[i] = total
+		total += bits.Len(uint(len(lib) - 1))
+		if total > 64 {
+			return nil, false
+		}
+	}
+	return shift, true
+}
+
+// packConfig packs cfg into its 64-bit key under the given field plan.
+func packConfig(cfg []int, shift []int) uint64 {
+	var p uint64
+	for i, v := range cfg {
+		p |= uint64(v) << shift[i]
+	}
+	return p
+}

@@ -26,6 +26,15 @@ type Models struct {
 	// Estimator call; they must not be reassigned afterwards.
 	predOnce        sync.Once
 	qorPred, hwPred func([]float64) float64
+	qorCF, hwCF     *ml.CompiledForest // non-nil when the engine is a forest
+}
+
+// compile memoizes the fastest available prediction paths for both models.
+func (m *Models) compile() {
+	m.predOnce.Do(func() {
+		m.qorCF, m.qorPred = predictFunc(m.QoR)
+		m.hwCF, m.hwPred = predictFunc(m.HW)
+	})
 }
 
 // Estimator returns the fast configuration estimator backed by the models.
@@ -37,10 +46,7 @@ type Models struct {
 // ml.RandomForest.Compile so the millions of queries Algorithm 1 issues
 // walk one contiguous node arena instead of 100 pointer-chased trees.
 func (m *Models) Estimator() Estimator {
-	m.predOnce.Do(func() {
-		m.qorPred = predictFunc(m.QoR)
-		m.hwPred = predictFunc(m.HW)
-	})
+	m.compile()
 	qor, hw := m.qorPred, m.hwPred
 	fq := make([]float64, len(m.Space))
 	fh := make([]float64, 3*len(m.Space))
@@ -49,14 +55,71 @@ func (m *Models) Estimator() Estimator {
 	}
 }
 
-// predictFunc returns the fastest available prediction function for a
-// fitted regressor: compiled-arena inference for random forests, the
-// regressor's own Predict otherwise.  Predictions are bit-identical.
-func predictFunc(r ml.Regressor) func([]float64) float64 {
-	if rf, ok := r.(*ml.RandomForest); ok {
-		return rf.Compile().Predict
+// BatchEstimator estimates a whole batch of configurations at once,
+// writing (QoR, hw) for cfgs[j] to qor[j], hw[j] (both length ≥
+// len(cfgs)).  Estimates are bit-identical to len(cfgs) Estimator calls;
+// forest-backed models run ml.CompiledForest.PredictBatch over a
+// struct-of-arrays feature matrix so the per-point arena walks overlap.
+// The returned closure owns reusable feature buffers — steady-state calls
+// with a stable batch size perform zero allocations — so, like Estimator,
+// it is NOT safe for concurrent use; draw one per goroutine.
+type BatchEstimator func(cfgs [][]int, qor, hw []float64)
+
+// BatchEstimator returns the batched counterpart of Estimator.
+func (m *Models) BatchEstimator() BatchEstimator {
+	m.compile()
+	qorB := batchPredict(m.qorCF, m.qorPred)
+	hwB := batchPredict(m.hwCF, m.hwPred)
+	var fq, fh []float64
+	return func(cfgs [][]int, qor, hw []float64) {
+		n := len(cfgs)
+		if n == 0 {
+			return
+		}
+		if cap(fq) < len(m.Space)*n {
+			fq = make([]float64, len(m.Space)*n)
+		}
+		if cap(fh) < 3*len(m.Space)*n {
+			fh = make([]float64, 3*len(m.Space)*n)
+		}
+		qorB(m.Space.QoRFeaturesBatchInto(cfgs, fq[:cap(fq)]), n, qor[:n])
+		hwB(m.Space.HWFeaturesBatchInto(cfgs, fh[:cap(fh)]), n, hw[:n])
 	}
-	return r.Predict
+}
+
+// predictFunc returns the fastest available prediction path for a fitted
+// regressor: the compiled arena (and its handle, for batch inference) for
+// random forests, the regressor's own Predict otherwise.  Predictions are
+// bit-identical either way.
+func predictFunc(r ml.Regressor) (*ml.CompiledForest, func([]float64) float64) {
+	if rf, ok := r.(*ml.RandomForest); ok {
+		cf := rf.Compile()
+		return cf, cf.Predict
+	}
+	return nil, r.Predict
+}
+
+// batchPredict adapts a prediction path to the feature-major batch shape:
+// compiled forests use their native PredictBatch; anything else gathers
+// each point into a reusable row and calls the scalar path (same floats).
+func batchPredict(cf *ml.CompiledForest, scalar func([]float64) float64) func(x []float64, n int, out []float64) {
+	if cf != nil {
+		return cf.PredictBatch
+	}
+	var row []float64
+	return func(x []float64, n int, out []float64) {
+		nf := len(x) / n
+		if cap(row) < nf {
+			row = make([]float64, nf)
+		}
+		r := row[:nf]
+		for i := 0; i < n; i++ {
+			for f := range r {
+				r[f] = x[f*n+i]
+			}
+			out[i] = scalar(r)
+		}
+	}
 }
 
 // BuildTrainingData converts precisely evaluated configurations into the

@@ -61,6 +61,7 @@ func HillClimbContext(ctx context.Context, s Space, est Estimator, opt SearchOpt
 	q, h := est(parent)
 	archive.Insert(point(q, h), parent)
 	stagnant, restarts := 0, 0
+	var orderBuf []int
 	for evals := 1; evals < opt.Evaluations; evals++ {
 		if evals%ctxCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
@@ -79,11 +80,15 @@ func HillClimbContext(ctx context.Context, s Space, est Estimator, opt SearchOpt
 				// When the archive is small and every member's 1-step
 				// neighbourhood is dominated (a trap low-fidelity models
 				// can create), that loops forever — so alternate restarts
-				// draw a fresh random configuration instead.
+				// draw a fresh random configuration instead.  The member
+				// draw follows the archive's insertion order (the order
+				// the pre-staircase archive stored members in), keeping
+				// trajectories reproducible across archive layouts.
 				restarts++
 				if restarts%2 == 1 {
-					members := archive.Payloads()
-					parent = append([]int(nil), members[rng.Intn(len(members))]...)
+					orderBuf = archive.InsertionOrder(orderBuf)
+					pick := orderBuf[rng.Intn(len(orderBuf))]
+					parent = append([]int(nil), archive.Payloads()[pick]...)
 				} else {
 					parent = s.RandomConfig(rng)
 				}
@@ -108,6 +113,48 @@ func RandomSearch(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]i
 	return archive
 }
 
+// estimateBatchSize is how many configurations the batched search loops
+// estimate per BatchEstimator call: large enough to amortize the batch
+// dispatch and keep walkWidth-interleaved forest walks fed, small enough
+// that the feature matrix stays L1/L2-resident.
+const estimateBatchSize = 256
+
+// RandomSearchBatch is RandomSearch over a BatchEstimator: configurations
+// are drawn and estimated estimateBatchSize at a time, then filtered
+// through the archive in draw order.  With the same seed it produces an
+// archive set-equal to RandomSearch over the scalar estimator (identical
+// rng draws, identical estimates, identical insertion sequence); only
+// payloads the archive accepts are copied out of the batch buffer.
+func RandomSearchBatch(s Space, est BatchEstimator, opt SearchOptions) *pareto.Archive[[]int] {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	archive := &pareto.Archive[[]int]{}
+	buf := make([]int, estimateBatchSize*len(s))
+	cfgs := make([][]int, estimateBatchSize)
+	for j := range cfgs {
+		cfgs[j] = buf[j*len(s) : (j+1)*len(s)]
+	}
+	qor := make([]float64, estimateBatchSize)
+	hw := make([]float64, estimateBatchSize)
+	for done := 0; done < opt.Evaluations; {
+		n := opt.Evaluations - done
+		if n > estimateBatchSize {
+			n = estimateBatchSize
+		}
+		for j := 0; j < n; j++ {
+			s.RandomConfigInto(rng, cfgs[j])
+		}
+		est(cfgs[:n], qor, hw)
+		for j := 0; j < n; j++ {
+			if pt := point(qor[j], hw[j]); !archive.Covered(pt) {
+				archive.Insert(pt, append([]int(nil), cfgs[j]...))
+			}
+		}
+		done += n
+	}
+	return archive
+}
+
 // ExhaustiveLimit caps the space size Exhaustive will enumerate.
 const ExhaustiveLimit = 5e7
 
@@ -125,7 +172,20 @@ func Exhaustive(s Space, est Estimator) (*pareto.Archive[[]int], error) {
 // buffers, so pass the method value itself (dse.ExhaustiveEstimators(s,
 // models.Estimator, p)) rather than a shared estimator.
 func ExhaustiveEstimators(s Space, newEst func() Estimator, parallelism int) (*pareto.Archive[[]int], error) {
-	return exhaustiveSharded(s, newEst, parallelism)
+	return exhaustiveSharded(s, func(lo, hi int) *pareto.Archive[[]int] {
+		return exhaustiveRange(s, newEst(), lo, hi)
+	}, parallelism)
+}
+
+// ExhaustiveBatch is ExhaustiveEstimators over batch estimators: each
+// shard enumerates its keyspace range estimateBatchSize configurations at
+// a time through a private BatchEstimator from newEst.  The result is
+// set-equal to ExhaustiveEstimators over the scalar estimators (same
+// estimates, same enumeration order, same tie-breaks).
+func ExhaustiveBatch(s Space, newEst func() BatchEstimator, parallelism int) (*pareto.Archive[[]int], error) {
+	return exhaustiveSharded(s, func(lo, hi int) *pareto.Archive[[]int] {
+		return exhaustiveRangeBatch(s, newEst(), lo, hi)
+	}, parallelism)
 }
 
 // ExhaustiveParallel is Exhaustive with an explicit parallelism bound
@@ -140,12 +200,15 @@ func ExhaustiveEstimators(s Space, newEst func() Estimator, parallelism int) (*p
 // concurrent use.  Models.Estimator is NOT (it owns reusable feature
 // buffers); use ExhaustiveEstimators with the factory instead.
 func ExhaustiveParallel(s Space, est Estimator, parallelism int) (*pareto.Archive[[]int], error) {
-	return exhaustiveSharded(s, func() Estimator { return est }, parallelism)
+	return exhaustiveSharded(s, func(lo, hi int) *pareto.Archive[[]int] {
+		return exhaustiveRange(s, est, lo, hi)
+	}, parallelism)
 }
 
-// exhaustiveSharded implements the keyspace-partitioned enumeration; every
-// shard draws a fresh estimator from newEst.
-func exhaustiveSharded(s Space, newEst func() Estimator, parallelism int) (*pareto.Archive[[]int], error) {
+// exhaustiveSharded implements the keyspace-partitioned enumeration;
+// runRange enumerates one contiguous odometer range into a fresh archive
+// (called concurrently, once per shard).
+func exhaustiveSharded(s Space, runRange func(lo, hi int) *pareto.Archive[[]int], parallelism int) (*pareto.Archive[[]int], error) {
 	n := s.NumConfigs()
 	if n > ExhaustiveLimit {
 		return nil, fmt.Errorf("dse: space of %.3g configurations exceeds the exhaustive limit %.3g", n, ExhaustiveLimit)
@@ -162,7 +225,7 @@ func exhaustiveSharded(s Space, newEst func() Estimator, parallelism int) (*pare
 		workers = total
 	}
 	if workers <= 1 {
-		return exhaustiveRange(s, newEst(), 0, total), nil
+		return runRange(0, total), nil
 	}
 	shards := make([]*pareto.Archive[[]int], workers)
 	var wg sync.WaitGroup
@@ -174,7 +237,7 @@ func exhaustiveSharded(s Space, newEst func() Estimator, parallelism int) (*pare
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			shards[w] = exhaustiveRange(s, newEst(), lo, hi)
+			shards[w] = runRange(lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
@@ -218,6 +281,52 @@ func exhaustiveRange(s Space, est Estimator, lo, hi int) *pareto.Archive[[]int] 
 			}
 			cfg[i] = 0
 		}
+	}
+	return archive
+}
+
+// exhaustiveRangeBatch is exhaustiveRange over a batch estimator: the
+// odometer fills a reusable flat buffer of estimateBatchSize
+// configurations, the whole buffer is estimated in one call, and the
+// results are filtered through the archive in enumeration order —
+// identical decisions and tie-breaks to the scalar loop.
+func exhaustiveRangeBatch(s Space, est BatchEstimator, lo, hi int) *pareto.Archive[[]int] {
+	archive := &pareto.Archive[[]int]{}
+	buf := make([]int, estimateBatchSize*len(s))
+	cfgs := make([][]int, estimateBatchSize)
+	for j := range cfgs {
+		cfgs[j] = buf[j*len(s) : (j+1)*len(s)]
+	}
+	qor := make([]float64, estimateBatchSize)
+	hw := make([]float64, estimateBatchSize)
+	cur := make([]int, len(s))
+	rem := lo
+	for i := range cur {
+		cur[i] = rem % len(s[i])
+		rem /= len(s[i])
+	}
+	for idx := lo; idx < hi; {
+		n := hi - idx
+		if n > estimateBatchSize {
+			n = estimateBatchSize
+		}
+		for j := 0; j < n; j++ {
+			copy(cfgs[j], cur)
+			for i := 0; i < len(cur); i++ { // odometer increment
+				cur[i]++
+				if cur[i] < len(s[i]) {
+					break
+				}
+				cur[i] = 0
+			}
+		}
+		est(cfgs[:n], qor, hw)
+		for j := 0; j < n; j++ {
+			if pt := point(qor[j], hw[j]); !archive.Covered(pt) {
+				archive.Insert(pt, append([]int(nil), cfgs[j]...))
+			}
+		}
+		idx += n
 	}
 	return archive
 }

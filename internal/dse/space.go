@@ -58,11 +58,18 @@ func (s Space) Circuits(cfg []int) accel.Configuration {
 
 // RandomConfig draws a uniform random configuration.
 func (s Space) RandomConfig(rng *rand.Rand) []int {
-	cfg := make([]int, len(s))
+	return s.RandomConfigInto(rng, make([]int, len(s)))
+}
+
+// RandomConfigInto is RandomConfig writing into dst (length len(s)) — the
+// allocation-free variant used by the batched search loops.  It consumes
+// exactly the same rng draws as RandomConfig.
+func (s Space) RandomConfigInto(rng *rand.Rand, dst []int) []int {
+	dst = dst[:len(s)]
 	for i, lib := range s {
-		cfg[i] = rng.Intn(len(lib))
+		dst[i] = rng.Intn(len(lib))
 	}
-	return cfg
+	return dst
 }
 
 // Neighbor returns a copy of cfg with one randomly chosen operation
@@ -75,7 +82,20 @@ func (s Space) RandomConfig(rng *rand.Rand) []int {
 // unchanged.
 func (s Space) Neighbor(cfg []int, rng *rand.Rand) []int {
 	next := append([]int(nil), cfg...)
-	k := rng.Intn(len(s))
+	if k, nv, ok := s.neighborMove(cfg, rng); ok {
+		next[k] = nv
+	}
+	return next
+}
+
+// neighborMove draws the one-operation move Neighbor applies, without
+// building the neighbouring configuration: operation k re-assigned to
+// circuit nv.  ok is false when no operation has an alternative circuit
+// (the configuration cannot move).  It consumes exactly the same rng draws
+// as Neighbor, which the incremental hill climb relies on for bit-identical
+// trajectories.
+func (s Space) neighborMove(cfg []int, rng *rand.Rand) (k, nv int, ok bool) {
+	k = rng.Intn(len(s))
 	if len(s[k]) == 1 {
 		movable := 0
 		for _, lib := range s {
@@ -84,7 +104,7 @@ func (s Space) Neighbor(cfg []int, rng *rand.Rand) []int {
 			}
 		}
 		if movable == 0 {
-			return next
+			return 0, 0, false
 		}
 		j := rng.Intn(movable)
 		for i, lib := range s {
@@ -97,12 +117,11 @@ func (s Space) Neighbor(cfg []int, rng *rand.Rand) []int {
 			}
 		}
 	}
-	nv := rng.Intn(len(s[k]) - 1)
+	nv = rng.Intn(len(s[k]) - 1)
 	if nv >= cfg[k] {
 		nv++
 	}
-	next[k] = nv
-	return next
+	return k, nv, true
 }
 
 // RandomConfigs draws n configurations deterministically from the seed.
@@ -149,6 +168,46 @@ func (s Space) HWFeaturesInto(cfg []int, dst []float64) []float64 {
 		dst[i] = c.Area
 		dst[n+i] = c.Power
 		dst[2*n+i] = c.Delay
+	}
+	return dst
+}
+
+// QoRFeaturesBatchInto writes the QoR features of n = len(cfgs)
+// configurations feature-major into dst (length ≥ len(s)·n): dst[i*n+j] is
+// feature i of configuration j — the struct-of-arrays layout
+// ml.CompiledForest.PredictBatch consumes.  It returns dst[:len(s)*n]
+// without allocating.  Feature values are the same floats
+// QoRFeaturesInto produces per configuration.
+func (s Space) QoRFeaturesBatchInto(cfgs [][]int, dst []float64) []float64 {
+	n := len(cfgs)
+	dst = dst[:len(s)*n]
+	for i, lib := range s {
+		row := dst[i*n : (i+1)*n]
+		for j, cfg := range cfgs {
+			row[j] = lib[cfg[i]].WMED
+		}
+	}
+	return dst
+}
+
+// HWFeaturesBatchInto writes the hardware features of n = len(cfgs)
+// configurations feature-major into dst (length ≥ 3·len(s)·n), mirroring
+// HWFeaturesInto's area/power/delay blocks: feature i of configuration j
+// is dst[i*n+j].  It returns dst[:3*len(s)*n] without allocating.
+func (s Space) HWFeaturesBatchInto(cfgs [][]int, dst []float64) []float64 {
+	n := len(cfgs)
+	m := len(s)
+	dst = dst[:3*m*n]
+	for i, lib := range s {
+		area := dst[i*n : (i+1)*n]
+		power := dst[(m+i)*n : (m+i+1)*n]
+		delay := dst[(2*m+i)*n : (2*m+i+1)*n]
+		for j, cfg := range cfgs {
+			c := lib[cfg[i]]
+			area[j] = c.Area
+			power[j] = c.Power
+			delay[j] = c.Delay
+		}
 	}
 	return dst
 }

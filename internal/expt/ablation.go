@@ -131,8 +131,7 @@ func AblationStagnation(w io.Writer, s Setup) error {
 	p := s.params()
 	space := cappedSpace(pipe.Space, p.table4Cap)
 	models := &dse.Models{QoR: pipe.Models.QoR, HW: pipe.Models.HW, Space: space}
-	est := models.Estimator()
-	optimal, err := dse.ExhaustiveEstimators(space, models.Estimator, s.Parallelism)
+	optimal, err := dse.ExhaustiveBatch(space, models.BatchEstimator, s.Parallelism)
 	if err != nil {
 		return err
 	}
@@ -142,7 +141,7 @@ func AblationStagnation(w io.Writer, s Setup) error {
 	fmt.Fprintln(tw, "k\t#Pareto\tFrom avg\tFrom max")
 	var csv [][]string
 	for _, k := range []int{5, 20, 50, 200, 1 << 30} {
-		hc := dse.HillClimb(space, est, dse.SearchOptions{Evaluations: budget, Stagnation: k, Seed: s.Seed + 31})
+		hc := models.HillClimb(dse.SearchOptions{Evaluations: budget, Stagnation: k, Seed: s.Seed + 31})
 		d := pareto.FrontDistances(hc.Points(), optimal.Points())
 		label := fmt.Sprint(k)
 		if k == 1<<30 {

@@ -156,9 +156,9 @@ func Table4Rows(s Setup) ([]Table4Row, error) {
 	p := s.params()
 	space := cappedSpace(pipe.Space, p.table4Cap)
 	models := &dse.Models{QoR: pipe.Models.QoR, HW: pipe.Models.HW, Space: space}
-	est := models.Estimator()
+	rsEst := models.BatchEstimator()
 
-	optimal, err := dse.ExhaustiveEstimators(space, models.Estimator, s.Parallelism)
+	optimal, err := dse.ExhaustiveBatch(space, models.BatchEstimator, s.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -168,12 +168,12 @@ func Table4Rows(s Setup) ([]Table4Row, error) {
 		Pareto:    optimal.Len(),
 	}}
 	for _, budget := range p.table4Budgets {
-		hc := dse.HillClimb(space, est, dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10})
+		hc := models.HillClimb(dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10})
 		d := pareto.FrontDistances(hc.Points(), optimal.Points())
 		rows = append(rows, Table4Row{"Proposed", budget, hc.Len(), d.ToAvg, d.ToMax, d.FromAvg, d.FromMax})
 	}
 	for _, budget := range p.table4Budgets {
-		rs := dse.RandomSearch(space, est, dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10})
+		rs := dse.RandomSearchBatch(space, rsEst, dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10})
 		d := pareto.FrontDistances(rs.Points(), optimal.Points())
 		rows = append(rows, Table4Row{"Random sampling", budget, rs.Len(), d.ToAvg, d.ToMax, d.FromAvg, d.FromMax})
 	}

@@ -1,22 +1,61 @@
 package ml
 
 import (
+	"math"
 	"math/rand"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
-// cnode is one node of a compiled forest: 24 bytes, so a cache line holds
-// more than two nodes and a root-to-leaf walk touches a fraction of the
-// lines the pointer-per-tree layout did.  Trees are flattened in preorder
-// with the left child immediately following its parent, so only the right
-// child needs an index.
+// cnode is one node of a compiled forest: 16 bytes, so a cache line
+// holds four nodes and a root-to-leaf walk touches a fraction of the
+// lines the pointer-per-tree layout did.  Leaf prediction values live in
+// the parallel CompiledForest.values array — they are only read once per
+// finished walk, so keeping them out of cnode halves the hot loop's
+// cache traffic.  Trees are flattened in preorder with the left child
+// immediately following its parent, so only the right child needs an
+// index.
+//
+// The split threshold is stored order-mapped (orderedBits): an unsigned
+// integer compare of mapped values reproduces the float64 ≤ exactly for
+// non-NaN operands, and — unlike the float compare, which the compiler
+// lowers to an unpredictable data-dependent branch — the integer compare
+// materializes as a flag (SETcc) that feeds an arithmetic select, so the
+// interleaved walks never stall on a mispredicted split.  Negative-zero
+// thresholds are normalized to +0 at compile time so the mapped compare
+// matches float semantics on every ±0 combination.  The scalar Predict
+// keeps the original float compare via the parallel fthresh array.
+//
+// Leaves are self-parking: mapped threshold 0 (below every non-NaN
+// feature's mapping) and right pointing at the leaf itself, so the
+// branchless advance (left on mapped x ≤ thresh, right otherwise) spins a
+// finished walker in place and the walk needs no per-step leaf test at
+// all: the walker is simply advanced for the tree's full depth.
 type cnode struct {
-	thresh  float64
-	value   float64
-	feature int32 // -1 for leaves
-	right   int32 // arena index of the right child
+	thresh uint64 // order-mapped split threshold; 0 for leaves
+	// fr packs the feature index (low 32 bits) and the right-child arena
+	// index (high 32 bits; self for leaves) into one word, so a walk step
+	// issues two loads per node instead of three.
+	fr uint64
+}
+
+// packFR packs a feature index and right-child index into cnode.fr.
+func packFR(feature, right int32) uint64 {
+	return uint64(uint32(feature)) | uint64(uint32(right))<<32
+}
+
+func (n *cnode) featIdx() int32  { return int32(uint32(n.fr)) }
+func (n *cnode) rightIdx() int32 { return int32(uint32(n.fr >> 32)) }
+
+// orderedBits maps a float64 to a uint64 whose unsigned order matches the
+// float order for all non-NaN values: positive values get the sign bit
+// set, negative values are bitwise inverted.  Branchless.
+func orderedBits(v float64) uint64 {
+	u := math.Float64bits(v)
+	return u ^ (uint64(int64(u)>>63) | 0x8000000000000000)
 }
 
 // CompiledForest is a RandomForest flattened into one contiguous node
@@ -25,46 +64,142 @@ type cnode struct {
 // tree-walking Predict (same per-tree traversal, same summation order,
 // same final division).
 type CompiledForest struct {
-	nodes  []cnode
-	roots  []int32
-	nTrees float64
+	nodes   []cnode
+	values  []float64 // per-node leaf values (0 for internal nodes)
+	fthresh []float64 // per-node float thresholds, read only by Predict
+	roots   []int32
+	depths  []int32 // per-tree root-to-leaf edge count, max over leaves
+	order   []int32 // tree indices grouped by depth for chunked walks
+	maxFeat int32   // largest feature index any node tests
+	nTrees  float64
 }
 
 // Compile flattens a fitted forest into a CompiledForest.
 func (f *RandomForest) Compile() *CompiledForest {
 	cf := &CompiledForest{
 		roots:  make([]int32, 0, len(f.trees)),
+		depths: make([]int32, 0, len(f.trees)),
 		nTrees: float64(len(f.trees)),
 	}
 	for _, t := range f.trees {
 		cf.roots = append(cf.roots, int32(len(cf.nodes)))
 		if len(t.nodes) == 0 {
 			// An unfitted tree predicts 0 (DecisionTree.Predict's guard).
-			cf.nodes = append(cf.nodes, cnode{feature: -1})
+			cf.addLeaf(0)
+			cf.depths = append(cf.depths, 0)
 			continue
 		}
-		cf.flatten(t, 0)
+		cf.depths = append(cf.depths, cf.flatten(t, 0))
 	}
+	// Walk schedule: trees sorted by (depth, index).  A chunk of
+	// similar-depth trees advances for its max member depth, so grouping
+	// by depth removes the shallow-tree spin cost; prediction output is
+	// unaffected because leaf values are accumulated in tree order, not
+	// walk order.
+	cf.order = make([]int32, len(cf.roots))
+	for i := range cf.order {
+		cf.order[i] = int32(i)
+	}
+	sort.Slice(cf.order, func(a, b int) bool {
+		x, y := cf.order[a], cf.order[b]
+		if cf.depths[x] != cf.depths[y] {
+			return cf.depths[x] < cf.depths[y]
+		}
+		return x < y
+	})
 	return cf
 }
 
-// flatten copies the subtree rooted at tree node id into the arena in
-// preorder and returns nothing; the left child lands at the slot right
-// after its parent.
-func (cf *CompiledForest) flatten(t *DecisionTree, id int32) {
-	n := t.nodes[id]
-	self := len(cf.nodes)
-	cf.nodes = append(cf.nodes, cnode{feature: int32(n.feature), thresh: n.thresh, value: n.value})
-	if n.feature < 0 {
-		return
-	}
-	cf.flatten(t, n.left)
-	cf.nodes[self].right = int32(len(cf.nodes))
-	cf.flatten(t, n.right)
+// NumTrees returns the number of trees in the compiled forest.
+func (cf *CompiledForest) NumTrees() int { return len(cf.roots) }
+
+// addLeaf appends a self-parking leaf node carrying value.
+func (cf *CompiledForest) addLeaf(value float64) {
+	self := int32(len(cf.nodes))
+	cf.nodes = append(cf.nodes, cnode{thresh: 0, fr: packFR(0, self)})
+	cf.values = append(cf.values, value)
+	cf.fthresh = append(cf.fthresh, 0)
 }
 
-// Predict averages the trees' predictions for one feature vector.  It
-// performs no allocations.
+// flatten copies the subtree rooted at tree node id into the arena in
+// preorder and returns its depth in edges; the left child lands at the
+// slot right after its parent.
+func (cf *CompiledForest) flatten(t *DecisionTree, id int32) int32 {
+	n := t.nodes[id]
+	self := int32(len(cf.nodes))
+	if n.feature < 0 {
+		cf.addLeaf(n.value)
+		return 0
+	}
+	// +0.0 normalizes a −0.0 threshold (−0+0 = +0) without touching any
+	// other value, keeping the mapped compare exact on ±0.
+	cf.nodes = append(cf.nodes, cnode{
+		thresh: orderedBits(n.thresh + 0.0),
+	})
+	cf.values = append(cf.values, 0)
+	cf.fthresh = append(cf.fthresh, n.thresh+0.0)
+	if int32(n.feature) > cf.maxFeat {
+		cf.maxFeat = int32(n.feature)
+	}
+	dl := cf.flatten(t, n.left)
+	cf.nodes[self].fr = packFR(int32(n.feature), int32(len(cf.nodes)))
+	dr := cf.flatten(t, n.right)
+	if dr > dl {
+		dl = dr
+	}
+	return dl + 1
+}
+
+// walkWidth is how many independent root-to-leaf walks the inference
+// paths keep in flight at once.  A walk is a chain of dependent loads
+// into an arena that typically overflows L1 plus a data-dependent
+// left/right select; advancing walkWidth independent chains per round
+// lets the memory system overlap the loads, and the select is computed
+// arithmetically (SETcc + mask) so no unpredictable branch stalls the
+// rounds.  8 saturates the load queues of current cores without spilling
+// the walker state off registers/stack.
+const walkWidth = 8
+
+// nodeAt returns the arena node at id without a bounds check.  Every id a
+// walk can reach is a valid arena index by construction: Compile writes
+// child indices pointing inside the arena and leaves self-loop, so the
+// invariant is established once at compile time, like the netlist
+// program's slot access.
+func nodeAt(nodes []cnode, id int32) *cnode {
+	return (*cnode)(unsafe.Add(unsafe.Pointer(&nodes[0]), uintptr(uint32(id))*unsafe.Sizeof(cnode{})))
+}
+
+// featAt loads the order-mapped feature f without a bounds check; callers
+// establish len(mx) > cf.maxFeat before entering a walk (leaves test
+// feature 0, so mx must be non-empty).
+func featAt(mx []uint64, f int32) uint64 {
+	return *(*uint64)(unsafe.Add(unsafe.Pointer(&mx[0]), uintptr(uint32(f))*8))
+}
+
+// step advances one walker: arithmetic select between the adjacent left
+// child and the right index, with no branch.  mx holds order-mapped
+// feature values; see cnode for why the compare is exact.
+func step(nodes []cnode, mx []uint64, id int32) int32 {
+	n := nodeAt(nodes, id)
+	fr := n.fr
+	var cc int32
+	if featAt(mx, int32(uint32(fr))) <= n.thresh {
+		cc = 1
+	}
+	right := int32(uint32(fr >> 32))
+	left := id + 1
+	return right + (left-right)&(-cc)
+}
+
+// Predict averages the trees' predictions for one feature vector, one
+// walker per tree in tree order — bit-identical to the source forest's
+// tree-walking Predict (same additions, same final division).  It
+// performs no allocations.  The batched access patterns the search loops
+// use run through PredictBatch and IncrementalPredictor, whose
+// interleaved branchless walkers pay off on varied inputs; the scalar
+// walk keeps the plain form — with the untransformed float compare
+// (fthresh), which branch prediction serves well for repeated or similar
+// probes.
 func (cf *CompiledForest) Predict(x []float64) float64 {
 	var s float64
 	nodes := cf.nodes
@@ -72,18 +207,81 @@ func (cf *CompiledForest) Predict(x []float64) float64 {
 		id := root
 		for {
 			n := &nodes[id]
-			if n.feature < 0 {
-				s += n.value
+			if n.rightIdx() == id { // self-parking leaf
+				s += cf.values[id]
 				break
 			}
-			if x[n.feature] <= n.thresh {
-				id++ // left child is adjacent in preorder
+			if x[n.featIdx()] <= cf.fthresh[id] {
+				id++
 			} else {
-				id = n.right
+				id = n.rightIdx()
 			}
 		}
 	}
 	return s / cf.nTrees
+}
+
+// PredictBatch predicts n feature vectors at once, writing prediction i
+// to out[i].  x is the struct-of-arrays (feature-major) matrix: x[f*n+i]
+// is feature f of point i, with len(x) = numFeatures*n.  The walk is
+// trees-outer/points-inner with walkWidth points advancing concurrently
+// through each tree (independent branchless chains, overlapped loads);
+// every point still accumulates its leaf values in tree order and divides
+// once at the end, so PredictBatch is bit-identical to n scalar Predict
+// calls.  It performs no allocations.  Like Predict, feature values must
+// not be NaN.
+func (cf *CompiledForest) PredictBatch(x []float64, n int, out []float64) {
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	nodes := cf.nodes
+	for t, root := range cf.roots {
+		depth := cf.depths[t]
+		if depth == 0 { // single-leaf tree: broadcast
+			v := cf.values[root]
+			for i := range out {
+				out[i] += v
+			}
+			continue
+		}
+		for base := 0; base < n; base += walkWidth {
+			m := n - base
+			if m > walkWidth {
+				m = walkWidth
+			}
+			var ids [walkWidth]int32
+			for j := 0; j < m; j++ {
+				ids[j] = root
+			}
+			for r := int32(0); r < depth; {
+				var moved int32
+				for k := 0; k < 2 && r < depth; k, r = k+1, r+1 {
+					for j := 0; j < m; j++ {
+						nd := &nodes[ids[j]]
+						var cc int32
+						if orderedBits(x[int(nd.featIdx())*n+base+j]) <= nd.thresh {
+							cc = 1
+						}
+						right := nd.rightIdx()
+						left := ids[j] + 1
+						id2 := right + (left-right)&(-cc)
+						moved |= id2 ^ ids[j]
+						ids[j] = id2
+					}
+				}
+				if moved == 0 {
+					break
+				}
+			}
+			for j := 0; j < m; j++ {
+				out[base+j] += cf.values[ids[j]]
+			}
+		}
+	}
+	for i := range out {
+		out[i] /= cf.nTrees
+	}
 }
 
 // Fit implements Regressor: it bootstrap-trains NTrees CART trees across

@@ -1,0 +1,107 @@
+package ml
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchForest(b *testing.B, samples, features int) (*CompiledForest, []float64) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([][]float64, samples)
+	y := make([]float64, samples)
+	for i := range x {
+		row := make([]float64, features)
+		s := 0.0
+		for j := range row {
+			row[j] = rng.Float64() * 100
+			s += row[j]
+		}
+		x[i] = row
+		y[i] = 1 / (1 + s/100)
+	}
+	rf := NewRandomForest(100, 1)
+	if err := rf.Fit(x, y); err != nil {
+		b.Fatal(err)
+	}
+	probe := make([]float64, features)
+	for j := range probe {
+		probe[j] = rng.Float64() * 100
+	}
+	return rf.Compile(), probe
+}
+
+// BenchmarkIncrementalMoveHW models the hill climb's HW estimator access
+// pattern: 15 features, 3 changed per move, mostly rejected.
+func BenchmarkIncrementalMoveHW(b *testing.B) {
+	cf, probe := benchForest(b, 45, 15)
+	p := cf.NewIncremental()
+	p.Reset(probe)
+	rng := rand.New(rand.NewSource(3))
+	changed := make([]int, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := rng.Intn(5)
+		changed[0], changed[1], changed[2] = k, 5+k, 10+k
+		for _, f := range changed {
+			probe[f] = rng.Float64() * 100
+		}
+		p.Move(probe, changed)
+		p.Reject()
+	}
+}
+
+// BenchmarkIncrementalMoveQoR models the QoR estimator: 5 features, 1
+// changed per move.
+func BenchmarkIncrementalMoveQoR(b *testing.B) {
+	cf, probe := benchForest(b, 45, 5)
+	p := cf.NewIncremental()
+	p.Reset(probe)
+	rng := rand.New(rand.NewSource(3))
+	changed := make([]int, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		changed[0] = rng.Intn(5)
+		probe[changed[0]] = rng.Float64() * 100
+		p.Move(probe, changed)
+		p.Reject()
+	}
+}
+
+// BenchmarkPredictVaried is scalar Predict over varying probes (the
+// branch-predictor-hostile case the climb used to hit).
+func BenchmarkPredictVaried(b *testing.B) {
+	cf, _ := benchForest(b, 45, 15)
+	rng := rand.New(rand.NewSource(3))
+	probes := make([][]float64, 64)
+	for i := range probes {
+		row := make([]float64, 15)
+		for j := range row {
+			row[j] = rng.Float64() * 100
+		}
+		probes[i] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.Predict(probes[i&63])
+	}
+}
+
+// BenchmarkPredictBatchVaried is PredictBatch over the same varied-probe
+// population as BenchmarkPredictVaried, reported per point.
+func BenchmarkPredictBatchVaried(b *testing.B) {
+	cf, _ := benchForest(b, 45, 15)
+	rng := rand.New(rand.NewSource(3))
+	const n = 64
+	x := make([]float64, 15*n)
+	for i := 0; i < n; i++ {
+		for f := 0; f < 15; f++ {
+			x[f*n+i] = rng.Float64() * 100
+		}
+	}
+	out := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.PredictBatch(x, n, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/point")
+}

@@ -31,25 +31,62 @@ func Dominates(a, b Point) bool {
 
 // Archive maintains a set of mutually non-dominated points with attached
 // payloads.  The zero value is ready to use.
+//
+// Two-objective archives (the paper's (−QoR, hw) case and every hot search
+// loop in this repository) are kept on a staircase: Points() is sorted
+// ascending by the first objective, which — because no two archived points
+// can share a first objective without one dominating the other — makes the
+// second objective strictly descending.  Covered is then one binary search
+// plus one comparison, and Insert evicts a single contiguous dominated run.
+// Archives of any other dimensionality fall back to the linear-scan path
+// and keep the historical insertion order (survivors of an eviction retain
+// their relative order).  Callers needing the insertion order of a
+// two-objective archive (e.g. to reproduce a random draw sequence that
+// predates the staircase) use InsertionOrder.
 type Archive[T any] struct {
 	pts      []Point
 	payloads []T
+	seqs     []int64 // per-entry insertion counter, parallel to pts
+	nextSeq  int64
+	dim      int // objective count, fixed by the first Insert
 }
 
 // Len returns the archive size.
 func (a *Archive[T]) Len() int { return len(a.pts) }
 
-// Points returns the archived objective vectors (shared storage).
+// Points returns the archived objective vectors (shared storage).  For
+// two-objective archives the slice is sorted ascending by the first
+// objective (descending by the second); otherwise it is in insertion
+// order.  See the Archive doc comment.
 func (a *Archive[T]) Points() []Point { return a.pts }
 
-// Payloads returns the archived payloads (shared storage).
+// Payloads returns the archived payloads (shared storage), ordered
+// parallel to Points.
 func (a *Archive[T]) Payloads() []T { return a.payloads }
+
+// InsertionOrder appends to dst[:0] the current archive indices ordered by
+// insertion time (oldest surviving member first) and returns the slice.
+// For non-2-objective archives this is simply 0..Len()-1; for staircase
+// archives it reconstructs the order the historical linear archive kept,
+// which Algorithm 1's restart draw depends on for reproducibility.
+func (a *Archive[T]) InsertionOrder(dst []int) []int {
+	dst = dst[:0]
+	for i := range a.pts {
+		dst = append(dst, i)
+	}
+	sort.Slice(dst, func(x, y int) bool { return a.seqs[dst[x]] < a.seqs[dst[y]] })
+	return dst
+}
 
 // Covered reports whether an archived point dominates or equals p — i.e.
 // whether Insert(p, …) would reject it.  It lets hot enumeration loops
 // defer building an expensive payload (such as copying a configuration)
-// until the point is known to be accepted.
+// until the point is known to be accepted.  On two-objective archives it
+// costs one binary search.
 func (a *Archive[T]) Covered(p Point) bool {
+	if a.dim == 2 && len(p) == 2 {
+		return a.covered2(p)
+	}
 	for _, q := range a.pts {
 		if Dominates(q, p) || equal(q, p) {
 			return true
@@ -58,10 +95,26 @@ func (a *Archive[T]) Covered(p Point) bool {
 	return false
 }
 
+// covered2 is Covered on the staircase: the only archived point that can
+// dominate or equal p is the rightmost one with first objective ≤ p[0]
+// (everything left of it has a strictly larger second objective, everything
+// right of it a strictly larger first objective).
+func (a *Archive[T]) covered2(p Point) bool {
+	j := sort.Search(len(a.pts), func(i int) bool { return a.pts[i][0] > p[0] }) - 1
+	return j >= 0 && a.pts[j][1] <= p[1]
+}
+
 // Insert adds (p, payload) if no archived point dominates or equals p,
 // evicting archived points p dominates.  It reports whether the point was
-// inserted — the accept test of the paper's Algorithm 1.
+// inserted — the accept test of the paper's Algorithm 1.  Equal-point ties
+// keep the first-inserted payload, in every dimensionality.
 func (a *Archive[T]) Insert(p Point, payload T) bool {
+	if a.dim == 0 {
+		a.dim = len(p)
+	}
+	if a.dim == 2 && len(p) == 2 {
+		return a.insert2(p, payload)
+	}
 	if a.Covered(p) {
 		return false
 	}
@@ -70,13 +123,54 @@ func (a *Archive[T]) Insert(p Point, payload T) bool {
 		if !Dominates(p, a.pts[i]) {
 			a.pts[keep] = a.pts[i]
 			a.payloads[keep] = a.payloads[i]
+			a.seqs[keep] = a.seqs[i]
 			keep++
 		}
 	}
 	a.pts = a.pts[:keep]
 	a.payloads = a.payloads[:keep]
+	a.seqs = a.seqs[:keep]
 	a.pts = append(a.pts, append(Point(nil), p...))
 	a.payloads = append(a.payloads, payload)
+	a.seqs = append(a.seqs, a.nextSeq)
+	a.nextSeq++
+	return true
+}
+
+// insert2 is Insert on the staircase.  The run of points p dominates is
+// contiguous: it starts at the first archived point with first objective
+// ≥ p[0] and extends while the (descending) second objective stays ≥ p[1].
+func (a *Archive[T]) insert2(p Point, payload T) bool {
+	if a.covered2(p) {
+		return false
+	}
+	lo := sort.Search(len(a.pts), func(i int) bool { return a.pts[i][0] >= p[0] })
+	hi := lo + sort.Search(len(a.pts)-lo, func(i int) bool { return a.pts[lo+i][1] < p[1] })
+	np := Point{p[0], p[1]}
+	seq := a.nextSeq
+	a.nextSeq++
+	if hi == lo { // nothing evicted: open a slot at lo
+		a.pts = append(a.pts, nil)
+		copy(a.pts[lo+1:], a.pts[lo:])
+		a.pts[lo] = np
+		var zero T
+		a.payloads = append(a.payloads, zero)
+		copy(a.payloads[lo+1:], a.payloads[lo:])
+		a.payloads[lo] = payload
+		a.seqs = append(a.seqs, 0)
+		copy(a.seqs[lo+1:], a.seqs[lo:])
+		a.seqs[lo] = seq
+		return true
+	}
+	// Replace the evicted run [lo, hi) with the single new entry.
+	a.pts[lo] = np
+	a.payloads[lo] = payload
+	a.seqs[lo] = seq
+	if hi > lo+1 {
+		a.pts = append(a.pts[:lo+1], a.pts[hi:]...)
+		a.payloads = append(a.payloads[:lo+1], a.payloads[hi:]...)
+		a.seqs = append(a.seqs[:lo+1], a.seqs[hi:]...)
+	}
 	return true
 }
 
@@ -90,8 +184,13 @@ func equal(a, b Point) bool {
 }
 
 // Front extracts the non-dominated subset of pts, returning their indices
-// in the input slice.
+// in the input slice (ascending).  Duplicate points keep only the earliest
+// index.  Two-objective inputs take an O(n log n) sort-and-sweep path;
+// other dimensionalities use the quadratic reference scan.
 func Front(pts []Point) []int {
+	if len(pts) > 0 && len(pts[0]) == 2 {
+		return front2(pts)
+	}
 	var idx []int
 	for i, p := range pts {
 		dominated := false
@@ -108,6 +207,39 @@ func Front(pts []Point) []int {
 			idx = append(idx, i)
 		}
 	}
+	return idx
+}
+
+// front2 is Front for two objectives: sweep the points in (first objective,
+// second objective, index) order keeping every strict improvement of the
+// second objective.  The index tie-break reproduces the quadratic path's
+// duplicate handling: among equal points only the earliest survives, and a
+// point matching the best second objective at a larger first objective is
+// dominated.
+func front2(pts []Point) []int {
+	ord := make([]int, len(pts))
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(x, y int) bool {
+		a, b := pts[ord[x]], pts[ord[y]]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return ord[x] < ord[y]
+	})
+	var idx []int
+	best := math.Inf(1)
+	for _, i := range ord {
+		if pts[i][1] < best {
+			idx = append(idx, i)
+			best = pts[i][1]
+		}
+	}
+	sort.Ints(idx)
 	return idx
 }
 

@@ -19,7 +19,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER=${BENCH_FILTER:-'^(BenchmarkNetlistEval|BenchmarkNetlistEvalBlock|BenchmarkCharacterize|BenchmarkPreciseEvaluation|BenchmarkHillClimb1k|BenchmarkModelEstimate|BenchmarkCompiledForestPredict|BenchmarkSSIM|BenchmarkSimplify|BenchmarkProfile|BenchmarkRandomForestFit)$'}
+FILTER=${BENCH_FILTER:-'^(BenchmarkNetlistEval|BenchmarkNetlistEvalBlock|BenchmarkCharacterize|BenchmarkPreciseEvaluation|BenchmarkEvaluateAllCached|BenchmarkHillClimb1k|BenchmarkRandomSearch1k|BenchmarkModelEstimate|BenchmarkModelEstimateBatch|BenchmarkCompiledForestPredict|BenchmarkSSIM|BenchmarkSimplify|BenchmarkProfile|BenchmarkRandomForestFit)$'}
 COUNT=${BENCH_COUNT:-3}
 
 go test -run '^$' -bench "$FILTER" -benchmem -count "$COUNT" . |

@@ -1,16 +1,26 @@
 // Command benchjson converts `go test -bench -benchmem` output read from
 // stdin into machine-readable JSON, optionally merging a baseline run into
-// a before/after report with per-benchmark speedups.
+// a before/after report with per-benchmark speedups, or gating CI on a
+// committed reference.
 //
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | go run ./scripts/benchjson -o bench.json
 //	... | go run ./scripts/benchjson -baseline before.json -o BENCH_PR4.json
+//	... | go run ./scripts/benchjson -check BENCH_PR5.json -max-regress 20
 //
 // Without -baseline the output is a flat run: {"benchmarks": {name:
 // {ns_per_op, b_per_op, allocs_per_op}}}.  With -baseline (a flat run
 // produced by this tool) the output holds "before", "after" and "speedup"
 // (before.ns_per_op / after.ns_per_op, for benchmarks present in both).
+//
+// With -check the run read from stdin is compared against a committed
+// reference (a flat run or a report, whose "after" section is used): the
+// command exits non-zero when any benchmark present in both regresses by
+// more than -max-regress× the reference ns/op.  The threshold must absorb
+// both CI noise and machine differences, so it is deliberately generous —
+// the gate catches complexity-class regressions (an accidental quadratic
+// scan, a lost fast path), not percentage drift.
 package main
 
 import (
@@ -53,6 +63,8 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) n
 
 func main() {
 	baseline := flag.String("baseline", "", "flat-run JSON to compare against (emits before/after/speedup)")
+	check := flag.String("check", "", "reference JSON (flat run or report) to gate against; exit 1 on regression")
+	maxRegress := flag.Float64("max-regress", 5, "with -check: fail when ns/op exceeds this multiple of the reference")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -93,6 +105,18 @@ func main() {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
 	}
 
+	if *check != "" {
+		ref, err := loadReference(*check)
+		if err != nil {
+			fatal(err)
+		}
+		if err := checkRegression(run.Benchmarks, ref, *maxRegress); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark regressed beyond %.3g× of %s\n", *maxRegress, *check)
+		return
+	}
+
 	var payload any = run
 	if *baseline != "" {
 		b, err := os.ReadFile(*baseline)
@@ -125,6 +149,54 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %s\n", *out)
+}
+
+// loadReference reads a committed reference file: a report's "after"
+// section when present, else a flat run's "benchmarks".
+func loadReference(path string) (map[string]Metrics, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err == nil && len(rep.After) > 0 {
+		return rep.After, nil
+	}
+	var run Run
+	if err := json.Unmarshal(b, &run); err != nil {
+		return nil, fmt.Errorf("parsing reference %s: %w", path, err)
+	}
+	if len(run.Benchmarks) == 0 {
+		return nil, fmt.Errorf("reference %s holds no benchmarks", path)
+	}
+	return run.Benchmarks, nil
+}
+
+// checkRegression fails when a benchmark present in both the current run
+// and the reference exceeds maxRegress× the reference ns/op.  Benchmarks
+// only on one side are reported but never fail the gate (new or retired
+// benchmarks must not break CI).
+func checkRegression(cur, ref map[string]Metrics, maxRegress float64) error {
+	var bad []string
+	for name, r := range ref {
+		c, ok := cur[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: reference benchmark %s not in current run (skipped)\n", name)
+			continue
+		}
+		if r.NsPerOp <= 0 {
+			continue
+		}
+		ratio := c.NsPerOp / r.NsPerOp
+		fmt.Fprintf(os.Stderr, "benchjson: %-28s %10.0f ns/op vs reference %10.0f (%.2f×)\n", name, c.NsPerOp, r.NsPerOp, ratio)
+		if ratio > maxRegress {
+			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op is %.1f× the reference %.0f (limit %.3g×)", name, c.NsPerOp, ratio, r.NsPerOp, maxRegress))
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("benchmark regression:\n  %s", strings.Join(bad, "\n  "))
+	}
+	return nil
 }
 
 func round3(v float64) float64 {
