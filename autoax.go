@@ -54,6 +54,7 @@ import (
 	"autoax/internal/expt"
 	"autoax/internal/imagedata"
 	"autoax/internal/ml"
+	"autoax/internal/obs"
 	"autoax/internal/pareto"
 	"autoax/internal/ssim"
 )
@@ -158,6 +159,32 @@ type (
 	// APIError is a non-2xx server response surfaced by the client.
 	APIError = axclient.APIError
 )
+
+// Re-exported observability types (see internal/obs): the process-wide
+// metric registry backing GET /v1/metrics, expvar and the Prometheus text
+// exposition.
+type (
+	// MetricsSnapshot is a point-in-time copy of every counter, gauge and
+	// histogram — the GET /v1/metrics payload and Client.Metrics result.
+	MetricsSnapshot = obs.Snapshot
+	// MetricsHistogram is one histogram's cumulative buckets in a
+	// MetricsSnapshot.
+	MetricsHistogram = obs.HistogramSnapshot
+	// MetricsRegistry holds named counters, gauges and histograms with an
+	// allocation-free hot path; Metrics() returns the process default.
+	MetricsRegistry = obs.Registry
+)
+
+// Metrics returns the process-wide default metric registry — the one the
+// pipeline, search, cache and server instrumentation record into.  Snapshot
+// it, write the Prometheus text form, or register custom metrics alongside
+// the built-in ones.
+func Metrics() *MetricsRegistry { return obs.Default() }
+
+// PublishMetricsExpvar exposes the default registry as the expvar variable
+// "autoax_metrics" (idempotent); `autoax serve -pprof ADDR` serves it at
+// /debug/vars.
+func PublishMetricsExpvar() { obs.PublishExpvar() }
 
 // NewClient returns a typed client for the job service at baseURL
 // (e.g. "http://localhost:8080").

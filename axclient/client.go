@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"autoax/internal/axserver"
+	"autoax/internal/obs"
 )
 
 // Client talks to one autoAx job service.  The zero value is not usable;
@@ -181,6 +182,15 @@ func (c *Client) Healthz(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
 }
 
+// Metrics fetches the service's metrics snapshot (GET /v1/metrics):
+// counters, gauges and histograms keyed by full metric name.  For the
+// Prometheus text form, scrape /v1/metrics?format=prometheus directly.
+func (c *Client) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &snap)
+	return snap, err
+}
+
 // JobsService accesses the job endpoints.
 type JobsService struct {
 	c *Client
@@ -216,11 +226,25 @@ const (
 // decode Result (see LibraryResultOf and friends).  Bound the wait with a
 // context deadline.
 func (s *JobsService) Wait(ctx context.Context, id string) (axserver.JobInfo, error) {
+	return s.WaitProgress(ctx, id, nil)
+}
+
+// WaitProgress is Wait with a live-progress callback: onPoll (when
+// non-nil) receives every polled snapshot, including the terminal one, so
+// callers can surface the job's current stage and progress counter
+// ("explore: 3400/5000") while waiting.  Servers predating the progress
+// fields simply leave Stage/Progress zero — the callback still fires with
+// the job's state.  The callback runs synchronously between polls; keep
+// it fast.
+func (s *JobsService) WaitProgress(ctx context.Context, id string, onPoll func(axserver.JobInfo)) (axserver.JobInfo, error) {
 	interval := waitBaseInterval
 	for {
 		info, err := s.Get(ctx, id)
 		if err != nil {
 			return axserver.JobInfo{}, err
+		}
+		if onPoll != nil {
+			onPoll(info)
 		}
 		if info.State.Terminal() {
 			return info, nil

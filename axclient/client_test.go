@@ -2,6 +2,7 @@ package axclient_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"net/http/httptest"
 	"testing"
@@ -170,5 +171,136 @@ func TestClientCancelAndWait(t *testing.T) {
 		if _, err := axclient.PipelineResultOf(final); err == nil {
 			t.Errorf("cancelled job decoded a result")
 		}
+	}
+}
+
+// TestClientWaitProgress drives a pipeline job through WaitProgress and
+// checks the live-progress contract from the client's side: the poll
+// callback observes at least three distinct pipeline stages, progress
+// advances monotonically within a stage, and the terminal snapshot keeps
+// the final stage fully complete.
+func TestClientWaitProgress(t *testing.T) {
+	c, _ := startService(t, axserver.Options{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	req := axserver.PipelineRequest{
+		App:     "sobel",
+		Library: tinyLibrary(),
+		Images:  axserver.ImageSpec{Count: 2, Width: 32, Height: 24, Seed: 5},
+		// Sized so the job spans several seconds: the client polls with
+		// exponential backoff, so each stage must outlive multiple polls.
+		TrainConfigs: 3000,
+		TestConfigs:  600,
+		SearchEvals:  3000000,
+	}
+	job, err := c.SubmitPipeline(ctx, req)
+	if err != nil {
+		t.Fatalf("SubmitPipeline: %v", err)
+	}
+
+	stageIdx := map[string]int{"reduce": 0, "samples": 1, "train": 2, "explore": 3, "finalize": 4}
+	type point struct {
+		stage       string
+		done, total int64
+	}
+	var seen []point
+	final, err := c.Jobs.WaitProgress(ctx, job.ID, func(info axserver.JobInfo) {
+		if info.Stage != "" {
+			seen = append(seen, point{info.Stage, info.Progress, info.ProgressTotal})
+		}
+	})
+	if err != nil {
+		t.Fatalf("WaitProgress: %v", err)
+	}
+	if final.State != axserver.JobSucceeded {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	if final.Stage != "finalize" {
+		t.Errorf("terminal stage = %q, want finalize", final.Stage)
+	}
+	if final.ProgressTotal <= 0 || final.Progress != final.ProgressTotal {
+		t.Errorf("terminal progress %d/%d, want complete", final.Progress, final.ProgressTotal)
+	}
+
+	distinct := map[string]bool{}
+	advanced := false
+	for i, p := range seen {
+		if _, ok := stageIdx[p.stage]; !ok {
+			t.Fatalf("unknown stage %q", p.stage)
+		}
+		distinct[p.stage] = true
+		if i == 0 {
+			continue
+		}
+		prev := seen[i-1]
+		if stageIdx[p.stage] < stageIdx[prev.stage] {
+			t.Fatalf("stage regressed %s → %s", prev.stage, p.stage)
+		}
+		if p.stage == prev.stage && p.done < prev.done {
+			t.Fatalf("progress regressed in %s: %d → %d", p.stage, prev.done, p.done)
+		}
+		if p.stage != prev.stage || p.done > prev.done {
+			advanced = true
+		}
+	}
+	if len(distinct) < 3 {
+		t.Errorf("observed %d distinct stages (%v), want ≥3", len(distinct), distinct)
+	}
+	if !advanced {
+		t.Error("progress never advanced across polls")
+	}
+}
+
+// TestJobInfoBackwardCompat decodes a JobInfo payload from a server
+// predating the progress fields: the new fields must simply stay zero and
+// everything else must round-trip unchanged.
+func TestJobInfoBackwardCompat(t *testing.T) {
+	old := []byte(`{
+		"id": "job-000042",
+		"kind": "pipeline",
+		"state": "running",
+		"createdAt": "2026-08-08T12:00:00Z",
+		"startedAt": "2026-08-08T12:00:01Z"
+	}`)
+	var info axserver.JobInfo
+	if err := json.Unmarshal(old, &info); err != nil {
+		t.Fatalf("decoding pre-progress JobInfo: %v", err)
+	}
+	if info.ID != "job-000042" || info.Kind != "pipeline" || info.State != axserver.JobRunning {
+		t.Fatalf("core fields mangled: %+v", info)
+	}
+	if info.Stage != "" || info.Progress != 0 || info.ProgressTotal != 0 {
+		t.Fatalf("progress fields nonzero on old payload: stage=%q %d/%d",
+			info.Stage, info.Progress, info.ProgressTotal)
+	}
+}
+
+// TestClientMetrics fetches the metrics snapshot through the typed client
+// after some traffic and spot-checks the families it must carry.
+func TestClientMetrics(t *testing.T) {
+	c, _ := startService(t, axserver.Options{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	job, err := c.SubmitLibrary(ctx, tinyLibrary())
+	if err != nil {
+		t.Fatalf("SubmitLibrary: %v", err)
+	}
+	if _, err := c.Jobs.Wait(ctx, job.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	snap, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatalf("Metrics: %v", err)
+	}
+	if _, ok := snap.Counters[`autoax_jobs_submitted_total{kind="library"}`]; !ok {
+		t.Errorf("snapshot missing library submission counter (counters: %d)", len(snap.Counters))
+	}
+	if _, ok := snap.Gauges["autoax_workers"]; !ok {
+		t.Errorf("snapshot missing autoax_workers gauge")
+	}
+	if _, ok := snap.Histograms["autoax_job_exec_us"]; !ok {
+		t.Errorf("snapshot missing autoax_job_exec_us histogram")
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"autoax/internal/imagedata"
 	"autoax/internal/ml"
 	"autoax/internal/netlist"
+	"autoax/internal/obs"
 	"autoax/internal/ssim"
 )
 
@@ -428,4 +429,52 @@ func BenchmarkEndToEndQuickstart(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Observability micro-benchmarks: the per-event cost instrumented code
+// pays on its hot path (see internal/obs).
+
+// BenchmarkObsCounter measures one counter increment — a single atomic
+// add, no locks, no allocation.
+func BenchmarkObsCounter(b *testing.B) {
+	c := obs.NewRegistry().Counter("bench_events_total")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+// BenchmarkObsHistogram measures one histogram observation — a linear
+// bucket-bound scan plus three atomic adds, no locks, no allocation.
+func BenchmarkObsHistogram(b *testing.B) {
+	h := obs.NewRegistry().Histogram("bench_latency_us", obs.DefaultLatencyBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) & 0xFFFF)
+	}
+}
+
+// BenchmarkHillClimb1kObserved is BenchmarkHillClimb1k with a progress
+// callback installed — the delta against the baseline bounds the whole
+// cost of search observability (metric flushes at checkpoints plus
+// progress reporting).
+func BenchmarkHillClimb1kObserved(b *testing.B) {
+	s := benchSetup(b)
+	pipe, err := s.Pipeline("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.Models.HillClimb(dse.SearchOptions{
+			Evaluations: 1000,
+			Seed:        int64(i),
+			Progress:    func(done, total int) { last = int64(done) },
+		})
+	}
+	_ = last
 }

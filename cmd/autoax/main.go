@@ -38,8 +38,10 @@ package main
 import (
 	"context"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
@@ -58,6 +60,7 @@ import (
 	"autoax/internal/core"
 	"autoax/internal/expt"
 	"autoax/internal/imagedata"
+	"autoax/internal/obs"
 )
 
 // version identifies the build for the version subcommand.
@@ -173,8 +176,14 @@ func runServe(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "directory for the content-addressed artifact cache (empty = memory only)")
 	evalParallel := fs.Int("eval-parallel", 0, "default per-job precise-evaluation workers for requests that leave parallelism unset (0 = divide cores across the worker pool)")
 	cacheMemMB := fs.Int64("cache-mem-mb", 0, "in-memory artifact cache budget in MiB; LRU entries are evicted beyond it (0 = unbounded; the disk tier is never bounded)")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060; empty = disabled)")
+	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	logFormat := fs.String("log-format", "text", "log output format: text or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -183,6 +192,7 @@ func runServe(args []string) error {
 		CacheDir:        *cacheDir,
 		EvalParallelism: *evalParallel,
 		MemCacheBytes:   *cacheMemMB << 20,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err
@@ -190,19 +200,23 @@ func runServe(args []string) error {
 
 	// The profiling endpoint listens on its own address and mux so the
 	// job API never exposes pprof, and only when explicitly requested.
+	// The same listener carries expvar (/debug/vars), with the metric
+	// registry published under "autoax_metrics".
 	if *pprofAddr != "" {
+		obs.PublishExpvar()
 		mux := http.NewServeMux()
 		mux.HandleFunc("/debug/pprof/", netpprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+		mux.Handle("/debug/vars", expvar.Handler())
 		pprofSrv := &http.Server{Addr: *pprofAddr, Handler: mux}
 		defer pprofSrv.Close()
 		go func() {
-			fmt.Fprintf(os.Stderr, "autoax serve: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+			logger.Info("pprof.start", "addr", *pprofAddr)
 			if err := pprofSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-				fmt.Fprintf(os.Stderr, "autoax serve: pprof listener: %v\n", err)
+				logger.Error("pprof.error", "error", err.Error())
 			}
 		}()
 	}
@@ -213,7 +227,7 @@ func runServe(args []string) error {
 
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "autoax serve: listening on %s (workers %d)\n", *addr, srv.Stats().Workers)
+		logger.Info("server.start", "addr", *addr, "workers", srv.Stats().Workers)
 		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 			return
@@ -230,7 +244,7 @@ func runServe(args []string) error {
 	// Restore default signal handling immediately so a second SIGINT/
 	// SIGTERM force-quits instead of being swallowed during the drain.
 	stop()
-	fmt.Fprintln(os.Stderr, "autoax serve: shutting down")
+	logger.Info("server.shutdown")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutdownCtx)
@@ -239,6 +253,24 @@ func runServe(args []string) error {
 		return err
 	}
 	return shutdownErr
+}
+
+// buildLogger constructs the serve logger writing structured events to
+// stderr in the requested format.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level: %w", err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log-format must be text or json, got %q", format)
+	}
 }
 
 func runPipeline(s expt.Setup, app string) error {
@@ -410,7 +442,18 @@ func runSubmit(s expt.Setup, graphPath string, args []string) error {
 		return err
 	}
 	fmt.Printf("submitted %s to %s (accelerator %s)\n", job.ID, *addr, app.Name)
-	done, err := c.Jobs.Wait(ctx, job.ID)
+	// Surface the server-side stage progress while waiting: one line per
+	// observed change ("explore: 3400/5000").  Old servers simply report
+	// no stage, so nothing is printed.
+	var lastStage string
+	var lastDone int64
+	done, err := c.Jobs.WaitProgress(ctx, job.ID, func(info axserver.JobInfo) {
+		if info.Stage == "" || (info.Stage == lastStage && info.Progress == lastDone) {
+			return
+		}
+		lastStage, lastDone = info.Stage, info.Progress
+		fmt.Fprintf(os.Stderr, "  %s: %d/%d\n", info.Stage, info.Progress, info.ProgressTotal)
+	})
 	if err != nil {
 		return err
 	}
@@ -504,7 +547,7 @@ commands:
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
   serve [-addr :8080] [-workers N] [-cache-dir DIR] [-cache-mem-mb N]
-        [-eval-parallel N] [-pprof ADDR]
+        [-eval-parallel N] [-pprof ADDR] [-log-level L] [-log-format text|json]
                                         run the asynchronous HTTP job service
   version                               print the version
 

@@ -1,0 +1,19 @@
+package accel
+
+import "autoax/internal/obs"
+
+// Process-wide mirrors of the compiled-program cache counters.  Each
+// Evaluator's cache keeps its own exact stats (ProgramCacheStats); these
+// aggregate across every cache in the process so the /v1/metrics snapshot
+// covers the compiled-program tier without enumerating evaluators.
+var (
+	progHits      = obs.Default().Counter("autoax_progcache_hits_total")
+	progMisses    = obs.Default().Counter("autoax_progcache_misses_total")
+	progCoalesced = obs.Default().Counter("autoax_progcache_coalesced_total")
+	progEvictions = obs.Default().Counter("autoax_progcache_evictions_total")
+
+	// progCompile records the wall time of each cache-miss build
+	// (Flatten+Simplify+Compile), the dominant cost the cache exists to
+	// avoid.
+	progCompile = obs.Default().Histogram("autoax_progcache_compile_us", obs.DefaultLatencyBuckets)
+)

@@ -8,6 +8,7 @@ import (
 
 	"autoax/internal/acl"
 	"autoax/internal/netlist"
+	"autoax/internal/obs"
 )
 
 // DefaultProgramCacheEntries is the default size cap of an evaluator's
@@ -120,6 +121,7 @@ func (pc *programCache) get(key string, build func() (compiledConfig, error)) (c
 				pc.lru.MoveToFront(f.elem)
 				pc.hits++
 				pc.mu.Unlock()
+				progHits.Inc()
 				return f.art, f.err
 			}
 			pc.mu.Unlock()
@@ -128,6 +130,7 @@ func (pc *programCache) get(key string, build func() (compiledConfig, error)) (c
 				pc.mu.Lock()
 				pc.coalesced++
 				pc.mu.Unlock()
+				progCoalesced.Inc()
 				return f.art, nil
 			}
 			continue // leader failed: retry, possibly becoming the leader
@@ -136,7 +139,9 @@ func (pc *programCache) get(key string, build func() (compiledConfig, error)) (c
 		pc.entries[key] = f
 		pc.misses++
 		pc.mu.Unlock()
+		progMisses.Inc()
 
+		span := obs.Default().StartSpanIn(progCompile)
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -146,8 +151,10 @@ func (pc *programCache) get(key string, build func() (compiledConfig, error)) (c
 			}()
 			f.art, f.err = build()
 		}()
+		span.Finish()
 
 		pc.mu.Lock()
+		evicted := 0
 		if f.err != nil {
 			delete(pc.entries, key)
 		} else {
@@ -157,9 +164,11 @@ func (pc *programCache) get(key string, build func() (compiledConfig, error)) (c
 				pc.lru.Remove(old.elem)
 				delete(pc.entries, old.key)
 				pc.evictions++
+				evicted++
 			}
 		}
 		pc.mu.Unlock()
+		progEvictions.Add(int64(evicted))
 		return f.art, f.err
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"autoax/internal/netlist"
+	"autoax/internal/obs"
 )
 
 // Options controls circuit characterization.
@@ -51,6 +52,8 @@ const fnvOffset, fnvPrime = 14695981039346656037, 1099511628211
 // interface matches op, and measures error and hardware metrics.  The
 // returned Circuit stores the simplified netlist.
 func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Circuit, error) {
+	span := obs.Default().StartSpanIn(characterizeSpans)
+	defer span.Finish()
 	opts = opts.withDefaults()
 	wa, wb := op.InWidths()
 	if nl.NumInputs != wa+wb {
@@ -84,6 +87,8 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 	rng := rand.New(rand.NewSource(opts.Seed))
 	maskA := uint64(1)<<uint(wa) - 1
 	maskB := uint64(1)<<uint(wb) - 1
+	characterized.Inc()
+	characterizePairs.Add(int64(total))
 
 	var (
 		sumAbs, sumSq, sumRel float64

@@ -1,0 +1,12 @@
+package acl
+
+import "autoax/internal/obs"
+
+// Characterization throughput metrics: one histogram sample per circuit
+// characterized and the cumulative operand-pair count swept, so the
+// pairs/sec rate of a library build is readable straight off a scrape.
+var (
+	characterizeSpans = obs.Default().Histogram("autoax_acl_characterize_us", obs.DefaultLatencyBuckets)
+	characterized     = obs.Default().Counter("autoax_acl_characterized_total")
+	characterizePairs = obs.Default().Counter("autoax_acl_characterize_pairs_total")
+)

@@ -35,7 +35,8 @@ type Cache struct {
 	fmu     sync.Mutex
 	flights map[string]*flight
 
-	hits      atomic.Int64
+	memHits   atomic.Int64
+	diskHits  atomic.Int64
 	misses    atomic.Int64
 	coalesced atomic.Int64
 	evictions atomic.Int64
@@ -145,35 +146,45 @@ func (c *Cache) store(key string, data []byte) {
 // lookup returns the cached bytes for key without touching the counters,
 // promoting the entry to most-recently-used.  A memory miss falls through
 // to disk and promotes the entry into the memory tier (which may evict
-// colder entries under a byte budget).
-func (c *Cache) lookup(key string) ([]byte, bool) {
+// colder entries under a byte budget); disk reports which tier served the
+// hit.
+func (c *Cache) lookup(key string) (b []byte, disk, ok bool) {
 	c.mu.Lock()
 	if e, ok := c.mem[key]; ok {
 		c.lru.MoveToFront(e.elem)
 		b := e.data
 		c.mu.Unlock()
-		return b, true
+		return b, false, true
 	}
 	c.mu.Unlock()
 	if c.dir == "" {
-		return nil, false
+		return nil, false, false
 	}
 	d, err := os.ReadFile(c.path(key))
 	if err != nil {
-		return nil, false
+		return nil, false, false
 	}
 	c.mu.Lock()
 	c.store(key, d)
 	c.mu.Unlock()
-	return d, true
+	return d, true, true
+}
+
+// hit records a served lookup in the tier that served it.
+func (c *Cache) hit(disk bool) {
+	if disk {
+		c.diskHits.Add(1)
+	} else {
+		c.memHits.Add(1)
+	}
 }
 
 // Get returns the cached bytes for key.  Hit/miss counters reflect the
-// combined memory+disk lookup, not the tiers.
+// combined memory+disk lookup; MemHits/DiskHits split hits by tier.
 func (c *Cache) Get(key string) ([]byte, bool) {
-	b, ok := c.lookup(key)
+	b, disk, ok := c.lookup(key)
 	if ok {
-		c.hits.Add(1)
+		c.hit(disk)
 		return b, true
 	}
 	c.misses.Add(1)
@@ -227,8 +238,8 @@ func (c *Cache) Put(key string, data []byte) error {
 // computations, not the number of callers that arrived during one.
 func (c *Cache) GetOrCompute(ctx context.Context, key string, compute func() ([]byte, error)) (b []byte, shared bool, err error) {
 	for {
-		if b, ok := c.lookup(key); ok {
-			c.hits.Add(1)
+		if b, disk, ok := c.lookup(key); ok {
+			c.hit(disk)
 			return b, true, nil
 		}
 		c.fmu.Lock()
@@ -303,8 +314,11 @@ func (c *Cache) Stats() CacheStats {
 	n := len(c.mem)
 	bytes := c.memBytes
 	c.mu.Unlock()
+	mem, disk := c.memHits.Load(), c.diskHits.Load()
 	return CacheStats{
-		Hits:      c.hits.Load(),
+		Hits:      mem + disk,
+		MemHits:   mem,
+		DiskHits:  disk,
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),

@@ -11,18 +11,24 @@ import (
 // batches are small, so 8 MiB is generous.
 const maxBodyBytes = 8 << 20
 
-// Handler returns the service's HTTP routes.
+// Handler returns the service's HTTP routes.  Every route is wrapped with
+// per-route request/latency/status metrics (see instrument); the route
+// label is the mux pattern, so path parameters do not explode cardinality.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/libraries", s.handleSubmitLibrary)
-	mux.HandleFunc("GET /v1/libraries/{key}", s.handleGetLibrary)
-	mux.HandleFunc("POST /v1/evaluate", s.handleSubmitEvaluate)
-	mux.HandleFunc("POST /v1/pipelines", s.handleSubmitPipeline)
-	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, instrument(pattern, h))
+	}
+	route("POST /v1/libraries", s.handleSubmitLibrary)
+	route("GET /v1/libraries/{key}", s.handleGetLibrary)
+	route("POST /v1/evaluate", s.handleSubmitEvaluate)
+	route("POST /v1/pipelines", s.handleSubmitPipeline)
+	route("GET /v1/jobs", s.handleListJobs)
+	route("GET /v1/jobs/{id}", s.handleGetJob)
+	route("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	route("GET /v1/stats", s.handleStats)
+	route("GET /v1/healthz", s.handleHealthz)
+	route("GET /v1/metrics", s.handleMetrics)
 	return mux
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,6 +30,49 @@ type Job struct {
 	// done is closed when the job reaches a terminal state; tests and the
 	// pool use it to wait without polling.
 	done chan struct{}
+
+	// Live progress, published lock-free by the running work (possibly
+	// from many evaluation goroutines at once) and read by job snapshots.
+	// stage points at the current stage name; progress counts completed
+	// items within it; progressTotal is the stage's total (0 = unknown).
+	stage         atomic.Pointer[string]
+	progress      atomic.Int64
+	progressTotal atomic.Int64
+}
+
+// setProgress is the job's ProgressFunc.  Stage transitions come from the
+// single goroutine driving the run, so storing the new stage then its
+// counters is race-free across stages; within a stage, concurrent
+// reporters advance progress with a CAS-max loop so a late small value
+// can never walk the published counter backwards.
+func (j *Job) setProgress(stage string, done, total int64) {
+	cur := j.stage.Load()
+	if cur == nil || *cur != stage {
+		j.progressTotal.Store(total)
+		j.progress.Store(done)
+		j.stage.Store(&stage)
+		return
+	}
+	if total > 0 {
+		j.progressTotal.Store(total)
+	}
+	for {
+		old := j.progress.Load()
+		if done <= old || j.progress.CompareAndSwap(old, done) {
+			return
+		}
+	}
+}
+
+// liveInfo returns the job's snapshot with the current progress overlaid.
+func (j *Job) liveInfo() JobInfo {
+	info := j.info
+	if st := j.stage.Load(); st != nil {
+		info.Stage = *st
+		info.Progress = j.progress.Load()
+		info.ProgressTotal = j.progressTotal.Load()
+	}
+	return info
 }
 
 // DefaultJobRetention caps how many terminal (succeeded, failed or
@@ -42,6 +87,9 @@ type Manager struct {
 	clock func() time.Time
 	// retain caps the terminal jobs kept (≤0 means DefaultJobRetention).
 	retain int
+	// logger receives the job lifecycle events (job.start, job.done);
+	// never nil — NewManager installs a discard logger.
+	logger *slog.Logger
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -50,7 +98,12 @@ type Manager struct {
 
 // NewManager returns an empty job manager with the default retention.
 func NewManager() *Manager {
-	return &Manager{clock: time.Now, retain: DefaultJobRetention, jobs: make(map[string]*Job)}
+	return &Manager{
+		clock:  time.Now,
+		retain: DefaultJobRetention,
+		logger: slog.New(slog.DiscardHandler),
+		jobs:   make(map[string]*Job),
+	}
 }
 
 // evictLocked drops the oldest terminal jobs beyond the retention cap.
@@ -80,7 +133,6 @@ func (m *Manager) evictLocked() {
 func (m *Manager) Create(base context.Context, kind string, run runFunc) *Job {
 	ctx, cancel := context.WithCancel(base)
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	m.seq++
 	j := &Job{
 		info: JobInfo{
@@ -91,11 +143,16 @@ func (m *Manager) Create(base context.Context, kind string, run runFunc) *Job {
 		},
 		seq:    m.seq,
 		run:    run,
-		ctx:    ctx,
 		cancel: cancel,
 		done:   make(chan struct{}),
 	}
+	// The run context carries the job's progress reporter so the work can
+	// publish stage/progress without widening the runFunc signature.
+	j.ctx = withProgress(ctx, j.setProgress)
 	m.jobs[j.info.ID] = j
+	m.mu.Unlock()
+	jobsSubmitted(kind).Inc()
+	m.logger.Info("job.accept", "job", j.info.ID, "kind", kind)
 	return j
 }
 
@@ -113,7 +170,7 @@ func (m *Manager) Get(id string) (JobInfo, bool) {
 	if !ok {
 		return JobInfo{}, false
 	}
-	return j.info, true
+	return j.liveInfo(), true
 }
 
 // List returns snapshots of every job, oldest first.
@@ -127,7 +184,7 @@ func (m *Manager) List() []JobInfo {
 	sort.Slice(jobs, func(i, k int) bool { return jobs[i].seq < jobs[k].seq })
 	out := make([]JobInfo, len(jobs))
 	for i, j := range jobs {
-		out[i] = j.info
+		out[i] = j.liveInfo()
 	}
 	return out
 }
@@ -171,11 +228,14 @@ func (m *Manager) Cancel(id string) (JobInfo, bool, bool) {
 		m.evictLocked()
 		m.mu.Unlock()
 		j.cancel()
+		jobsCompleted(JobCancelled).Inc()
+		m.logger.Info("job.cancel", "job", info.ID, "kind", info.Kind, "state", "queued")
 		return info, true, true
 	case JobRunning:
 		info := j.info
 		m.mu.Unlock()
 		j.cancel()
+		m.logger.Info("job.cancel", "job", info.ID, "kind", info.Kind, "state", "running")
 		return info, true, true
 	default:
 		info := j.info
@@ -189,12 +249,17 @@ func (m *Manager) Cancel(id string) (JobInfo, bool, bool) {
 // pool must skip it.
 func (m *Manager) markRunning(j *Job) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if j.info.State != JobQueued {
+		m.mu.Unlock()
 		return false
 	}
 	j.info.State = JobRunning
 	j.info.Started = m.clock()
+	wait := j.info.Started.Sub(j.info.Created)
+	id, kind := j.info.ID, j.info.Kind
+	m.mu.Unlock()
+	jobQueueWait.ObserveDuration(wait)
+	m.logger.Info("job.start", "job", id, "kind", kind, "queue_wait_us", wait.Microseconds())
 	return true
 }
 
@@ -209,8 +274,8 @@ func (m *Manager) finish(j *Job, ctxErr error, result any, cached bool, err erro
 		encoded, encErr = json.Marshal(result)
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if j.info.State != JobRunning {
+		m.mu.Unlock()
 		return
 	}
 	j.info.Ended = m.clock()
@@ -228,6 +293,27 @@ func (m *Manager) finish(j *Job, ctxErr error, result any, cached bool, err erro
 		j.info.Cached = cached
 		j.info.Result = encoded
 	}
+	// Bake the final stage/progress into the terminal snapshot so a
+	// finished job keeps reporting where it ended.
+	if st := j.stage.Load(); st != nil {
+		j.info.Stage = *st
+		j.info.Progress = j.progress.Load()
+		j.info.ProgressTotal = j.progressTotal.Load()
+	}
+	state := j.info.State
+	id, kind := j.info.ID, j.info.Kind
+	exec := j.info.Ended.Sub(j.info.Started)
+	errText := j.info.Error
 	close(j.done)
 	m.evictLocked()
+	m.mu.Unlock()
+	jobExec.ObserveDuration(exec)
+	jobsCompleted(state).Inc()
+	if errText != "" {
+		m.logger.Info("job.done", "job", id, "kind", kind, "state", string(state),
+			"exec_us", exec.Microseconds(), "error", errText)
+	} else {
+		m.logger.Info("job.done", "job", id, "kind", kind, "state", string(state),
+			"exec_us", exec.Microseconds(), "cached", cached)
+	}
 }

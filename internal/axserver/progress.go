@@ -1,0 +1,29 @@
+package axserver
+
+import "context"
+
+// ProgressFunc receives live progress from a running job: the current
+// stage name, the work items completed in that stage, and the stage's
+// total (0 when unknown).  The signature deliberately matches
+// core.StageObserver so a pipeline's observer plugs in directly.
+// Implementations must be safe for concurrent use — parallel evaluation
+// workers report concurrently.
+type ProgressFunc func(stage string, done, total int64)
+
+// progressCtxKey carries the job's progress reporter through the run
+// context, so the runFunc signature (and every closure built on it)
+// stays unchanged.
+type progressCtxKey struct{}
+
+// withProgress attaches a progress reporter to ctx.
+func withProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressCtxKey{}, fn)
+}
+
+// ProgressReporter returns the progress reporter carried by a job's
+// context, or nil when the work is not running under a job (direct
+// library resolution, tests calling compute paths straight).
+func ProgressReporter(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressCtxKey{}).(ProgressFunc)
+	return fn
+}

@@ -29,7 +29,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"autoax/internal/accel"
@@ -62,6 +64,9 @@ type Options struct {
 	// reachable through the disk tier when CacheDir is set).  0 keeps the
 	// memory tier unbounded.
 	MemCacheBytes int64
+	// Logger receives structured lifecycle events (job.accept, job.start,
+	// job.done, job.cancel, cache.selfheal).  nil discards them.
+	Logger *slog.Logger
 }
 
 // Server owns the job manager, the worker pool and the artifact cache.
@@ -71,6 +76,7 @@ type Server struct {
 	cache   *Cache
 	manager *Manager
 	pool    *Pool
+	logger  *slog.Logger
 
 	// base is the lifetime of all jobs; cancelling it aborts running work.
 	base       context.Context
@@ -99,8 +105,13 @@ func New(opts Options) (*Server, error) {
 	if opts.EvalParallelism < 0 {
 		return nil, fmt.Errorf("axserver: eval parallelism must be non-negative, got %d", opts.EvalParallelism)
 	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	base, cancel := context.WithCancel(context.Background())
 	manager := NewManager()
+	manager.logger = logger
 	if opts.JobRetention > 0 {
 		manager.retain = opts.JobRetention
 	}
@@ -109,6 +120,7 @@ func New(opts Options) (*Server, error) {
 		cache:      cache,
 		manager:    manager,
 		pool:       NewPool(manager, opts.Workers),
+		logger:     logger,
 		base:       base,
 		cancelBase: cancel,
 		started:    time.Now(),
@@ -495,7 +507,10 @@ func cachedArtifact[T any](s *Server, ctx context.Context, key string,
 		if err == nil {
 			return res, shared, nil
 		}
-		s.cache.Delete(key) // self-heal corrupt entries
+		// Self-heal corrupt entries: drop and recompute on the next round.
+		s.cache.Delete(key)
+		cacheSelfHeal.Inc()
+		s.logger.Warn("cache.selfheal", "key", key, "error", err.Error())
 	}
 	return zero, false, fmt.Errorf("axserver: artifact %s: stored bytes corrupt after recompute", key)
 }
@@ -575,7 +590,15 @@ func (s *Server) computeEvaluate(ctx context.Context, req EvaluateRequest, app *
 			}
 		}
 	}
-	res, err := dse.EvaluateAllParallel(ctx, ev, space, req.Configs, s.evalParallelism(req.Parallelism))
+	// Live progress: one "evaluate" stage counting finished configurations.
+	var onDone func()
+	if report := ProgressReporter(ctx); report != nil {
+		total := int64(len(req.Configs))
+		report("evaluate", 0, total)
+		var done atomic.Int64
+		onDone = func() { report("evaluate", done.Add(1), total) }
+	}
+	res, err := dse.EvaluateAllParallelProgress(ctx, ev, space, req.Configs, s.evalParallelism(req.Parallelism), onDone)
 	if err != nil {
 		return zero, err
 	}
@@ -703,6 +726,11 @@ func (s *Server) computePipeline(ctx context.Context, req PipelineRequest, app *
 	pipe, err := core.NewPipeline(app, lib, images, cfg)
 	if err != nil {
 		return zero, err
+	}
+	// The job's progress reporter (carried by ctx) plugs straight into the
+	// pipeline's stage observer: same signature, same semantics.
+	if report := ProgressReporter(ctx); report != nil {
+		pipe.Observer = core.StageObserver(report)
 	}
 	if err := pipe.RunContext(ctx); err != nil {
 		return zero, err

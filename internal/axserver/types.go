@@ -226,6 +226,17 @@ type JobInfo struct {
 	// identical computation that was already in flight.
 	Cached bool   `json:"cached,omitempty"`
 	Error  string `json:"error,omitempty"`
+	// Stage is the pipeline stage the job is currently executing (for
+	// pipeline jobs: reduce, samples, train, explore, finalize; for
+	// evaluate jobs: evaluate), kept on terminal jobs as the stage they
+	// ended in.  Empty while queued, for jobs that never ran, and for
+	// kinds that do not report stages.
+	Stage string `json:"stage,omitempty"`
+	// Progress counts work items completed within Stage; it only ever
+	// advances within one stage.  ProgressTotal is the stage's total
+	// (0 = unknown).
+	Progress      int64 `json:"progress,omitempty"`
+	ProgressTotal int64 `json:"progressTotal,omitempty"`
 	// Result is the kind-specific payload (LibraryResult, EvaluateResult
 	// or PipelineResult), present once State is "succeeded".
 	Result json.RawMessage `json:"result,omitempty"`
@@ -248,8 +259,13 @@ type CancelResponse struct {
 
 // CacheStats reports content-addressed cache effectiveness.
 type CacheStats struct {
-	Hits   int64 `json:"hits"`
-	Misses int64 `json:"misses"`
+	// Hits counts lookups served from either tier: MemHits + DiskHits.
+	Hits int64 `json:"hits"`
+	// MemHits / DiskHits split the hits by serving tier (a disk hit
+	// re-promotes the entry into the memory tier).
+	MemHits  int64 `json:"memHits"`
+	DiskHits int64 `json:"diskHits"`
+	Misses   int64 `json:"misses"`
 	// Coalesced counts requests that joined a concurrent identical
 	// computation already in flight (singleflight) instead of recomputing
 	// or racing to fill the cache.

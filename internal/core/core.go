@@ -80,6 +80,11 @@ type Pipeline struct {
 	Images []*imagedata.Image
 	Opt    Config
 
+	// Observer, when set, receives live stage progress (see StageObserver).
+	// Independent of it, every run records per-stage wall time and item
+	// counts into the process metrics registry (obs.Default()).
+	Observer StageObserver
+
 	// Products of the stages, in order of appearance.
 	Ev        *accel.Evaluator
 	PMFs      []*pmf.PMF
@@ -128,8 +133,10 @@ func (p *Pipeline) ReduceContext(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	p.PMFs = p.App.Profile(p.Images)
 	ops := p.App.Graph.OpNodes()
+	r := p.startStage(StageReduce, int64(len(ops)))
+	defer r.finish()
+	p.PMFs = p.App.Profile(p.Images)
 	p.Space = make(dse.Space, len(ops))
 	for i, id := range ops {
 		if err := ctx.Err(); err != nil {
@@ -145,6 +152,7 @@ func (p *Pipeline) ReduceContext(ctx context.Context) error {
 			copies[j] = &cc
 		}
 		p.Space[i] = acl.Reduce(copies, p.PMFs[i])
+		r.step(1)
 	}
 	return p.Space.Validate()
 }
@@ -163,14 +171,17 @@ func (p *Pipeline) GenerateSamplesContext(ctx context.Context) error {
 			return err
 		}
 	}
+	r := p.startStage(StageSamples, int64(p.Opt.TrainConfigs+p.Opt.TestConfigs))
+	defer r.finish()
+	onDone := func() { r.step(1) }
 	var err error
 	p.TrainCfgs = p.Space.RandomConfigs(p.Opt.TrainConfigs, p.Opt.Seed+100)
-	p.TrainRes, err = dse.EvaluateAllParallel(ctx, p.Ev, p.Space, p.TrainCfgs, p.Opt.Parallelism)
+	p.TrainRes, err = dse.EvaluateAllParallelProgress(ctx, p.Ev, p.Space, p.TrainCfgs, p.Opt.Parallelism, onDone)
 	if err != nil {
 		return err
 	}
 	p.TestCfgs = p.Space.RandomConfigs(p.Opt.TestConfigs, p.Opt.Seed+200)
-	p.TestRes, err = dse.EvaluateAllParallel(ctx, p.Ev, p.Space, p.TestCfgs, p.Opt.Parallelism)
+	p.TestRes, err = dse.EvaluateAllParallelProgress(ctx, p.Ev, p.Space, p.TestCfgs, p.Opt.Parallelism, onDone)
 	return err
 }
 
@@ -186,10 +197,18 @@ func (p *Pipeline) TrainContext(ctx context.Context) error {
 			return err
 		}
 	}
+	// One work item per engine fit: the bake-off candidates (when
+	// AutoEngine) plus the final fit on the full training set.
+	total := int64(1)
+	if p.Opt.AutoEngine {
+		total += int64(len(ml.Engines()))
+	}
+	r := p.startStage(StageTrain, total)
+	defer r.finish()
 	engine := p.Opt.Engine
 	if p.Opt.AutoEngine {
 		var err error
-		engine, err = p.selectEngine(ctx)
+		engine, err = p.selectEngine(ctx, r)
 		if err != nil {
 			return err
 		}
@@ -202,6 +221,7 @@ func (p *Pipeline) TrainContext(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	r.step(1)
 	p.Models = m
 	xq, yq, xh, yh := dse.BuildTrainingData(p.Space, p.TestCfgs, p.TestRes)
 	p.QoRFidelity = dse.ModelFidelity(m.QoR, xq, yq)
@@ -211,7 +231,7 @@ func (p *Pipeline) TrainContext(ctx context.Context) error {
 
 // selectEngine runs the engine bake-off on a 70/30 split of the training
 // samples and returns the engine with the best mean validation fidelity.
-func (p *Pipeline) selectEngine(ctx context.Context) (ml.EngineSpec, error) {
+func (p *Pipeline) selectEngine(ctx context.Context, r *stageRun) (ml.EngineSpec, error) {
 	cut := len(p.TrainCfgs) * 7 / 10
 	if cut < 2 || len(p.TrainCfgs)-cut < 2 {
 		return p.Opt.Engine, fmt.Errorf("core: too few samples (%d) for engine selection", len(p.TrainCfgs))
@@ -226,6 +246,7 @@ func (p *Pipeline) selectEngine(ctx context.Context) (ml.EngineSpec, error) {
 			return p.Opt.Engine, err
 		}
 		m, err := dse.TrainModels(spec, p.Opt.Seed, p.Space, fitCfgs, fitRes)
+		r.step(1)
 		if err != nil {
 			continue // an engine failing to fit simply loses the bake-off
 		}
@@ -252,12 +273,15 @@ func (p *Pipeline) ExploreContext(ctx context.Context) error {
 			return err
 		}
 	}
+	r := p.startStage(StageExplore, int64(p.Opt.SearchEvals))
+	defer r.finish()
 	// The models-backed climb patches neighbor features incrementally and
 	// is bit-identical to the generic estimator path.
 	pseudo, err := p.Models.HillClimbContext(ctx, dse.SearchOptions{
 		Evaluations: p.Opt.SearchEvals,
 		Stagnation:  p.Opt.Stagnation,
 		Seed:        p.Opt.Seed + 300,
+		Progress:    func(done, total int) { r.set(int64(done)) },
 	})
 	if err != nil {
 		return err
@@ -304,8 +328,10 @@ func (p *Pipeline) FinalizeContext(ctx context.Context) error {
 		cfgs = append(cfgs, exact)
 	}
 	p.FinalCfgs = cfgs
+	r := p.startStage(StageFinalize, int64(len(cfgs)))
+	defer r.finish()
 	var err error
-	p.FinalRes, err = dse.EvaluateAllParallel(ctx, p.Ev, p.Space, cfgs, p.Opt.Parallelism)
+	p.FinalRes, err = dse.EvaluateAllParallelProgress(ctx, p.Ev, p.Space, cfgs, p.Opt.Parallelism, func() { r.step(1) })
 	if err != nil {
 		return err
 	}

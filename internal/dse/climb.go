@@ -69,10 +69,14 @@ func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pare
 		hp = fullPredictor{m.hwPred}
 	}
 
+	var st climbStats
+	defer st.flush()
+
 	parent := s.RandomConfig(rng)
 	fq := s.QoRFeaturesInto(parent, make([]float64, n))
 	fh := s.HWFeaturesInto(parent, make([]float64, 3*n))
 	archive.Insert(point(qp.Reset(fq), hp.Reset(fh)), append([]int(nil), parent...))
+	st.inserts++
 	stagnant, restarts := 0, 0
 	var orderBuf []int
 	var cq [1]int
@@ -112,16 +116,22 @@ func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pare
 	epoch := uint64(1)
 	for evals := 1; evals < opt.Evaluations; evals++ {
 		if evals%ctxCheckStride == 0 {
+			st.flush()
+			if opt.Progress != nil {
+				opt.Progress(evals, opt.Evaluations)
+			}
 			if err := ctx.Err(); err != nil {
 				return archive, err
 			}
 		}
+		st.iters++
 		// The neighbor move is applied to parent in place; the four
 		// touched feature slots are plain copies of circuit fields, so
 		// patching them reproduces a full recomputation bit for bit.
 		k, nv, moved := s.neighborMove(parent, rng)
 		accepted := false
 		if moved {
+			st.proposals++
 			repeat := false
 			var packCand uint64
 			var idx int
@@ -154,7 +164,10 @@ func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pare
 					seen[packCand] = struct{}{}
 				}
 				if pt := point(q, h); !archive.Covered(pt) {
+					before := archive.Len()
 					archive.Insert(pt, append([]int(nil), parent...))
+					st.inserts++
+					st.evictions += int64(before + 1 - archive.Len())
 					qp.Accept()
 					hp.Accept()
 					packParent = packCand
@@ -173,9 +186,11 @@ func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pare
 					fh[n+k] = co.Power
 					fh[2*n+k] = co.Delay
 				}
+			} else {
+				// Memo hit: a repeat of an already-evaluated candidate —
+				// certain rejection, nothing to recompute.
+				st.memoHits++
 			}
-			// Memo hit: a repeat of an already-evaluated candidate —
-			// certain rejection, nothing to recompute.
 		} else {
 			// No operation can move: the candidate equals the parent, and
 			// the generic path's insert attempt of the already-archived
@@ -191,6 +206,7 @@ func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pare
 			// odd restarts draw an archived member by insertion order,
 			// even restarts a fresh random configuration.
 			restarts++
+			st.restarts++
 			if restarts%2 == 1 {
 				orderBuf = archive.InsertionOrder(orderBuf)
 				pick := orderBuf[rng.Intn(len(orderBuf))]
@@ -208,6 +224,9 @@ func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pare
 			epoch++ // new parent: the per-parent memo no longer applies
 			stagnant = 0
 		}
+	}
+	if opt.Progress != nil {
+		opt.Progress(opt.Evaluations, opt.Evaluations)
 	}
 	return archive, nil
 }

@@ -1,0 +1,50 @@
+package dse
+
+import "autoax/internal/obs"
+
+// Search-internals metrics.  The hill climb's inner loop runs at a few µs
+// per iteration, so counters are accumulated in plain locals (climbStats)
+// and flushed to the process registry only at the climb's context
+// checkpoints and on return — the hot path itself performs no atomic
+// operations for metrics.  Precise evaluation and batch estimation record
+// directly: one atomic add against milliseconds (evaluation) or a whole
+// batch (estimation) of work.
+var (
+	climbIterations = obs.Default().Counter("autoax_dse_climb_iterations_total")
+	climbProposals  = obs.Default().Counter("autoax_dse_climb_proposals_total")
+	climbMemoHits   = obs.Default().Counter("autoax_dse_climb_memo_hits_total")
+	climbInserts    = obs.Default().Counter("autoax_dse_climb_inserts_total")
+	climbEvictions  = obs.Default().Counter("autoax_dse_climb_evictions_total")
+	climbRestarts   = obs.Default().Counter("autoax_dse_climb_restarts_total")
+	batchEstimates  = obs.Default().Counter("autoax_dse_batch_estimates_total")
+	preciseEvals    = obs.Default().Counter("autoax_dse_precise_evals_total")
+)
+
+// climbStats locally accumulates one climb's counters between flushes.
+type climbStats struct {
+	iters, proposals, memoHits, inserts, evictions, restarts int64
+}
+
+// flush publishes and resets the accumulated deltas, so periodic flushes
+// keep the process counters advancing while a long climb is in flight.
+func (s *climbStats) flush() {
+	if s.iters > 0 {
+		climbIterations.Add(s.iters)
+	}
+	if s.proposals > 0 {
+		climbProposals.Add(s.proposals)
+	}
+	if s.memoHits > 0 {
+		climbMemoHits.Add(s.memoHits)
+	}
+	if s.inserts > 0 {
+		climbInserts.Add(s.inserts)
+	}
+	if s.evictions > 0 {
+		climbEvictions.Add(s.evictions)
+	}
+	if s.restarts > 0 {
+		climbRestarts.Add(s.restarts)
+	}
+	*s = climbStats{}
+}

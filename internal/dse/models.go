@@ -76,6 +76,7 @@ func (m *Models) BatchEstimator() BatchEstimator {
 		if n == 0 {
 			return
 		}
+		batchEstimates.Inc()
 		if cap(fq) < len(m.Space)*n {
 			fq = make([]float64, len(m.Space)*n)
 		}

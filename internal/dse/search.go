@@ -20,6 +20,13 @@ type SearchOptions struct {
 	Stagnation int
 	// Seed makes runs reproducible.
 	Seed int64
+	// Progress, when set, is called from the search goroutine with the
+	// number of estimator evaluations performed so far and the total
+	// budget — at every context checkpoint (ctxCheckStride evaluations)
+	// and once on completion.  It observes the search without perturbing
+	// it: the trajectory, rng draws and archive are identical with or
+	// without a callback.
+	Progress func(done, total int)
 }
 
 func (o SearchOptions) withDefaults() SearchOptions {
@@ -57,25 +64,38 @@ func HillClimbContext(ctx context.Context, s Space, est Estimator, opt SearchOpt
 	rng := rand.New(rand.NewSource(opt.Seed))
 	archive := &pareto.Archive[[]int]{}
 
+	var st climbStats
+	defer st.flush()
+
 	parent := s.RandomConfig(rng)
 	q, h := est(parent)
 	archive.Insert(point(q, h), parent)
+	st.inserts++
 	stagnant, restarts := 0, 0
 	var orderBuf []int
 	for evals := 1; evals < opt.Evaluations; evals++ {
 		if evals%ctxCheckStride == 0 {
+			st.flush()
+			if opt.Progress != nil {
+				opt.Progress(evals, opt.Evaluations)
+			}
 			if err := ctx.Err(); err != nil {
 				return archive, err
 			}
 		}
+		st.iters++
 		c := s.Neighbor(parent, rng)
 		q, h := est(c)
+		before := archive.Len()
 		if archive.Insert(point(q, h), c) {
+			st.inserts++
+			st.evictions += int64(before + 1 - archive.Len())
 			parent = c
 			stagnant = 0
 		} else {
 			stagnant++
 			if stagnant >= opt.Stagnation {
+				st.restarts++
 				// The paper restarts from a random archived configuration.
 				// When the archive is small and every member's 1-step
 				// neighbourhood is dominated (a trap low-fidelity models
@@ -95,6 +115,9 @@ func HillClimbContext(ctx context.Context, s Space, est Estimator, opt SearchOpt
 				stagnant = 0
 			}
 		}
+	}
+	if opt.Progress != nil {
+		opt.Progress(opt.Evaluations, opt.Evaluations)
 	}
 	return archive, nil
 }

@@ -239,6 +239,16 @@ func EvaluateAllContext(ctx context.Context, ev *accel.Evaluator, s Space, cfgs 
 // per worker; the first evaluation error (lowest configuration index
 // observed) cancels the sibling shards and is returned.
 func EvaluateAllParallel(ctx context.Context, ev *accel.Evaluator, s Space, cfgs [][]int, parallelism int) ([]accel.Result, error) {
+	return EvaluateAllParallelProgress(ctx, ev, s, cfgs, parallelism, nil)
+}
+
+// EvaluateAllParallelProgress is EvaluateAllParallel with a completion
+// callback: onDone, when non-nil, is invoked once after each configuration
+// finishes evaluating — concurrently from every worker goroutine, so the
+// callback must be safe for concurrent use (an atomic counter feeding a
+// progress display is the intended shape).  The callback observes the
+// batch without perturbing it: results are identical with or without one.
+func EvaluateAllParallelProgress(ctx context.Context, ev *accel.Evaluator, s Space, cfgs [][]int, parallelism int, onDone func()) ([]accel.Result, error) {
 	workers := parallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -257,6 +267,10 @@ func EvaluateAllParallel(ctx context.Context, ev *accel.Evaluator, s Space, cfgs
 				return nil, fmt.Errorf("dse: evaluating configuration %d: %w", i, err)
 			}
 			out[i] = r
+			preciseEvals.Inc()
+			if onDone != nil {
+				onDone()
+			}
 		}
 		return out, nil
 	}
@@ -304,6 +318,10 @@ func EvaluateAllParallel(ctx context.Context, ev *accel.Evaluator, s Space, cfgs
 					return
 				}
 				out[i] = r
+				preciseEvals.Inc()
+				if onDone != nil {
+					onDone()
+				}
 			}
 		}(shardEvs[w])
 	}
