@@ -101,6 +101,18 @@ type (
 	Space = dse.Space
 	// SearchOptions parameterizes the DSE searches.
 	SearchOptions = dse.SearchOptions
+	// SearchEngine is one pluggable DSE strategy from the engine registry
+	// (see SearchEngines / SearchEngineByName).
+	SearchEngine = dse.Engine
+	// SearchOptionError reports a negative SearchOptions field (zero means
+	// default; negatives are rejected).
+	SearchOptionError = dse.OptionError
+	// SearchModels bundles the trained QoR/hardware models with the reduced
+	// space — the input every SearchEngine runs over (Pipeline.Models).
+	SearchModels = dse.Models
+	// ServerSearchSpec selects the search engine and seed of a server
+	// pipeline request; it folds into the content-addressed cache key.
+	ServerSearchSpec = axserver.SearchSpec
 	// EngineSpec names an ML engine constructor.
 	EngineSpec = ml.EngineSpec
 	// Regressor is the supervised-learning interface.
@@ -288,6 +300,23 @@ func Engines() []EngineSpec { return ml.Engines() }
 
 // EngineByName looks up one Table 3 engine.
 func EngineByName(name string) (EngineSpec, error) { return ml.EngineByName(name) }
+
+// DefaultSearchEngine is the engine a run uses when none is named —
+// the paper's hill climber.
+const DefaultSearchEngine = dse.DefaultEngineName
+
+// SearchEngines lists the registered DSE engine names in sorted order
+// ("hillclimb", "nsga2", "random").
+var SearchEngines = dse.SearchEngines
+
+// SearchEngineByName resolves a registered engine; the empty string
+// selects DefaultSearchEngine.
+var SearchEngineByName = dse.SearchEngineByName
+
+// RunSearchEngine resolves an engine by name and runs it over trained
+// models — the seam Pipeline.ExploreContext and the server dispatch
+// through (Config.SearchEngine / ServerPipelineRequest.Search).
+var RunSearchEngine = dse.RunEngine
 
 // HillClimb runs the paper's Algorithm 1 over a reduced space with an
 // estimator derived from trained models (see Pipeline for the integrated

@@ -286,6 +286,26 @@ func BenchmarkHillClimb1k(b *testing.B) {
 	}
 }
 
+// BenchmarkNSGA2Gen1k measures a 1000-evaluation NSGA-II run over the
+// Sobel reduced space with trained models — the population engine's
+// generation loop (batched scoring, non-dominated sort, crowding,
+// archive folding) behind the "nsga2" registry entry.
+func BenchmarkNSGA2Gen1k(b *testing.B) {
+	s := benchSetup(b)
+	pipe, err := s.Pipeline("sobel")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dse.RunEngine(ctx, "nsga2", pipe.Models,
+			dse.SearchOptions{Evaluations: 1000, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkModelEstimateBatch measures estimateBatchSize-configuration
 // batched estimation through Models.BatchEstimator (struct-of-arrays
 // features + ml.CompiledForest.PredictBatch) — the per-configuration

@@ -33,6 +33,8 @@
 //	                          app name for pipeline and submit
 //	-parallel N               precise-evaluation workers (default 0 = all
 //	                          cores; results are identical at any setting)
+//	-engine NAME              search engine for the model-based DSE step
+//	                          (hillclimb, nsga2, random; default hillclimb)
 package main
 
 import (
@@ -58,6 +60,7 @@ import (
 	"autoax/internal/apps"
 	"autoax/internal/axserver"
 	"autoax/internal/core"
+	"autoax/internal/dse"
 	"autoax/internal/expt"
 	"autoax/internal/imagedata"
 	"autoax/internal/obs"
@@ -73,6 +76,7 @@ func main() {
 	libPath := flag.String("lib", "library.json", "library file for the library command")
 	graphPath := flag.String("graph", "", "wire-format accelerator JSON file (pipeline and submit)")
 	parallel := flag.Int("parallel", 0, "precise-evaluation workers (0 = all cores, 1 = sequential; results are identical)")
+	engine := flag.String("engine", "", "search engine for the model-based DSE step (hillclimb, nsga2, random; empty = hillclimb)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -92,7 +96,12 @@ func main() {
 	if cmd := flag.Arg(0); *graphPath != "" && cmd != "pipeline" && cmd != "submit" {
 		fatal(fmt.Errorf("-graph applies to the pipeline and submit commands, not %q", cmd))
 	}
-	s := expt.Setup{Scale: sc, Seed: *seed, OutDir: *out, Parallelism: *parallel}
+	// -engine is validated up front against the registry so a typo fails
+	// before any expensive library build.
+	if _, err := dse.SearchEngineByName(*engine); err != nil {
+		fatal(err)
+	}
+	s := expt.Setup{Scale: sc, Seed: *seed, OutDir: *out, Parallelism: *parallel, SearchEngine: *engine}
 	w := os.Stdout
 
 	start := time.Now()
@@ -116,7 +125,9 @@ func main() {
 	case "ablation":
 		if err = expt.AblationQoRFeatures(w, s); err == nil {
 			if err = expt.AblationHWFeatures(w, s); err == nil {
-				err = expt.AblationStagnation(w, s)
+				if err = expt.AblationStagnation(w, s); err == nil {
+					err = expt.AblationEngines(w, s)
+				}
 			}
 		}
 	case "all":
@@ -175,7 +186,8 @@ func runServe(args []string) error {
 	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	cacheDir := fs.String("cache-dir", "", "directory for the content-addressed artifact cache (empty = memory only)")
 	evalParallel := fs.Int("eval-parallel", 0, "default per-job precise-evaluation workers for requests that leave parallelism unset (0 = divide cores across the worker pool)")
-	cacheMemMB := fs.Int64("cache-mem-mb", 0, "in-memory artifact cache budget in MiB; LRU entries are evicted beyond it (0 = unbounded; the disk tier is never bounded)")
+	cacheMemMB := fs.Int64("cache-mem-mb", 0, "in-memory artifact cache budget in MiB; LRU entries are evicted beyond it (0 = unbounded)")
+	cacheDiskMB := fs.Int64("cache-disk-mb", 0, "on-disk artifact cache budget in MiB; least-recently-used files are deleted beyond it (0 = unbounded; needs -cache-dir)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060; empty = disabled)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
@@ -192,6 +204,7 @@ func runServe(args []string) error {
 		CacheDir:        *cacheDir,
 		EvalParallelism: *evalParallel,
 		MemCacheBytes:   *cacheMemMB << 20,
+		DiskCacheBytes:  *cacheDiskMB << 20,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -366,6 +379,7 @@ func runPipelineGraph(s expt.Setup, path string) error {
 		SearchEvals:  b.evals,
 		Parallelism:  s.Parallelism,
 		Seed:         s.Seed,
+		SearchEngine: s.SearchEngine,
 	})
 	if err != nil {
 		return err
@@ -397,6 +411,7 @@ func runSubmit(s expt.Setup, graphPath string, args []string) error {
 		SearchEvals:  b.evals,
 		Seed:         s.Seed,
 		Parallelism:  s.Parallelism,
+		Search:       axserver.SearchSpec{Engine: s.SearchEngine},
 	}
 	// The library request must cover the accelerator's operation mix, so
 	// the app is materialized locally either way to derive the specs.
@@ -466,8 +481,8 @@ func runSubmit(s expt.Setup, graphPath string, args []string) error {
 		served = "served from cache"
 	}
 	fmt.Printf("job %s %s in %s (%s)\n", done.ID, done.State, done.Ended.Sub(done.Started).Round(time.Millisecond), served)
-	fmt.Printf("reduced space %.3g configurations, fidelity QoR %.0f%% / HW %.0f%%, engine %s\n",
-		res.SpaceConfigs, 100*res.QoRFidelity, 100*res.HWFidelity, res.Engine)
+	fmt.Printf("reduced space %.3g configurations, fidelity QoR %.0f%% / HW %.0f%%, engine %s, search %s\n",
+		res.SpaceConfigs, 100*res.QoRFidelity, 100*res.HWFidelity, res.Engine, res.SearchEngine)
 	fmt.Println("  SSIM     area(µm²)  energy(fJ)  configuration")
 	for _, f := range res.Front {
 		fmt.Printf("  %.5f  %9.1f  %10.1f  %v\n", f.SSIM, f.Area, f.Energy, f.Config)
@@ -547,7 +562,8 @@ commands:
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
   serve [-addr :8080] [-workers N] [-cache-dir DIR] [-cache-mem-mb N]
-        [-eval-parallel N] [-pprof ADDR] [-log-level L] [-log-format text|json]
+        [-cache-disk-mb N] [-eval-parallel N] [-pprof ADDR]
+        [-log-level L] [-log-format text|json]
                                         run the asynchronous HTTP job service
   version                               print the version
 

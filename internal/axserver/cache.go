@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -17,34 +18,52 @@ import (
 // memory and, when a directory is configured, on disk — a restarted server
 // warms from disk on first access.  The memory tier can be bounded by a
 // byte budget (NewCacheSized): least-recently-used entries are evicted
-// once the budget is exceeded, while the disk tier stays unbounded and
-// keeps self-healing, so an evicted artifact is re-promoted from disk on
-// its next use instead of being recomputed.  Concurrent identical
+// once the budget is exceeded, and an evicted artifact is re-promoted
+// from disk on its next use instead of being recomputed.  The disk tier
+// can carry its own LRU byte budget (NewCacheTiered); left unbounded it
+// keeps every artifact and keeps self-healing.  Concurrent identical
 // computations are coalesced (GetOrCompute), so N workers racing on the
 // same key run the build once.  Safe for concurrent use.
 type Cache struct {
-	dir      string // "" = memory-only
-	maxBytes int64  // ≤ 0 = unbounded memory tier
+	dir          string // "" = memory-only
+	maxBytes     int64  // ≤ 0 = unbounded memory tier
+	maxDiskBytes int64  // ≤ 0 = unbounded disk tier
 
 	mu       sync.Mutex
 	mem      map[string]*memEntry
 	lru      *list.List // of string keys; front = most recently used
 	memBytes int64
 
+	// Disk-tier accounting, keyed by cache file name (the injective
+	// path() encoding) so a startup scan can rebuild it without knowing
+	// the keys.  Guarded by dmu; file removals during eviction happen
+	// under it too (evictions are rare and the files small).
+	dmu       sync.Mutex
+	disk      map[string]*diskEntry
+	diskLRU   *list.List // of string file names; front = most recently used
+	diskBytes int64
+
 	// flights tracks in-progress computations per key (singleflight).
 	fmu     sync.Mutex
 	flights map[string]*flight
 
-	memHits   atomic.Int64
-	diskHits  atomic.Int64
-	misses    atomic.Int64
-	coalesced atomic.Int64
-	evictions atomic.Int64
+	memHits       atomic.Int64
+	diskHits      atomic.Int64
+	misses        atomic.Int64
+	coalesced     atomic.Int64
+	evictions     atomic.Int64
+	diskEvictions atomic.Int64
 }
 
 // memEntry is one memory-tier entry with its LRU position.
 type memEntry struct {
 	data []byte
+	elem *list.Element
+}
+
+// diskEntry is one disk-tier entry with its LRU position.
+type diskEntry struct {
+	size int64
 	elem *list.Element
 }
 
@@ -68,20 +87,134 @@ func NewCache(dir string) (*Cache, error) {
 // NewCacheSized is NewCache with a memory-tier byte budget: once the
 // summed entry sizes exceed memBudget, least-recently-used entries are
 // evicted (an entry alone larger than the budget is not kept in memory at
-// all).  memBudget ≤ 0 means unbounded.  The disk tier is never bounded.
+// all).  memBudget ≤ 0 means unbounded.  The disk tier is unbounded; use
+// NewCacheTiered to cap it.
 func NewCacheSized(dir string, memBudget int64) (*Cache, error) {
+	return NewCacheTiered(dir, memBudget, 0)
+}
+
+// NewCacheTiered is NewCacheSized with a disk-tier byte budget mirroring
+// the memory tier's LRU policy: once the summed cache-file sizes exceed
+// diskBudget, the least-recently-used files are deleted (the newest entry
+// is never evicted, so every stored artifact remains cached somewhere).
+// Existing cache files are inventoried at startup, oldest-modified
+// counting as least recently used, and trimmed to the budget immediately.
+// diskBudget ≤ 0 means unbounded (the tier is still inventoried so stats
+// report its footprint).
+func NewCacheTiered(dir string, memBudget, diskBudget int64) (*Cache, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("axserver: cache dir: %w", err)
 		}
 	}
-	return &Cache{
-		dir:      dir,
-		maxBytes: memBudget,
-		mem:      make(map[string]*memEntry),
-		lru:      list.New(),
-		flights:  make(map[string]*flight),
-	}, nil
+	c := &Cache{
+		dir:          dir,
+		maxBytes:     memBudget,
+		maxDiskBytes: diskBudget,
+		mem:          make(map[string]*memEntry),
+		lru:          list.New(),
+		disk:         make(map[string]*diskEntry),
+		diskLRU:      list.New(),
+		flights:      make(map[string]*flight),
+	}
+	if dir != "" {
+		if err := c.scanDisk(); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// scanDisk inventories the existing cache files into the disk-tier LRU —
+// oldest modification first, so a restarted server evicts cold artifacts
+// before recent ones — then trims to the budget.
+func (c *Cache) scanDisk() error {
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("axserver: cache dir scan: %w", err)
+	}
+	type fileInfo struct {
+		name string
+		size int64
+		mod  int64
+	}
+	files := make([]fileInfo, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue // skip temp files and anything not a cache entry
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue // raced a concurrent delete; the entry just misses
+		}
+		files = append(files, fileInfo{e.Name(), info.Size(), info.ModTime().UnixNano()})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		if files[i].mod != files[j].mod {
+			return files[i].mod < files[j].mod
+		}
+		return files[i].name < files[j].name
+	})
+	c.dmu.Lock()
+	defer c.dmu.Unlock()
+	for _, f := range files {
+		c.diskTouchLocked(f.name, f.size)
+	}
+	return nil
+}
+
+// diskTouchLocked records name as the disk tier's most recently used
+// entry (inserting it if new), then evicts least-recently-used files
+// until the byte budget holds.  Caller must hold c.dmu.
+func (c *Cache) diskTouchLocked(name string, size int64) {
+	if e, ok := c.disk[name]; ok {
+		c.diskBytes += size - e.size
+		e.size = size
+		c.diskLRU.MoveToFront(e.elem)
+	} else {
+		e := &diskEntry{size: size}
+		e.elem = c.diskLRU.PushFront(name)
+		c.disk[name] = e
+		c.diskBytes += size
+	}
+	if c.maxDiskBytes <= 0 {
+		return
+	}
+	for c.diskBytes > c.maxDiskBytes && c.diskLRU.Len() > 1 {
+		back := c.diskLRU.Back()
+		n := back.Value.(string)
+		e := c.disk[n]
+		c.diskLRU.Remove(back)
+		delete(c.disk, n)
+		c.diskBytes -= e.size
+		os.Remove(filepath.Join(c.dir, n))
+		c.diskEvictions.Add(1)
+	}
+}
+
+// diskTouch is diskTouchLocked taking the lock; no-op without a dir.
+func (c *Cache) diskTouch(name string, size int64) {
+	if c.dir == "" {
+		return
+	}
+	c.dmu.Lock()
+	c.diskTouchLocked(name, size)
+	c.dmu.Unlock()
+}
+
+// diskForget drops name from the disk-tier accounting (the caller removes
+// the file itself).
+func (c *Cache) diskForget(name string) {
+	if c.dir == "" {
+		return
+	}
+	c.dmu.Lock()
+	if e, ok := c.disk[name]; ok {
+		c.diskLRU.Remove(e.elem)
+		delete(c.disk, name)
+		c.diskBytes -= e.size
+	}
+	c.dmu.Unlock()
 }
 
 // path maps a namespaced key ("library/<hash>") to its on-disk file.  The
@@ -167,6 +300,7 @@ func (c *Cache) lookup(key string) (b []byte, disk, ok bool) {
 	c.mu.Lock()
 	c.store(key, d)
 	c.mu.Unlock()
+	c.diskTouch(filepath.Base(c.path(key)), int64(len(d)))
 	return d, true, true
 }
 
@@ -219,6 +353,7 @@ func (c *Cache) Put(key string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("axserver: cache write: %w", err)
 	}
+	c.diskTouch(filepath.Base(dst), int64(len(data)))
 	return nil
 }
 
@@ -304,6 +439,7 @@ func (c *Cache) Delete(key string) {
 	c.mu.Unlock()
 	if c.dir != "" {
 		os.Remove(c.path(key))
+		c.diskForget(filepath.Base(c.path(key)))
 	}
 }
 
@@ -314,15 +450,22 @@ func (c *Cache) Stats() CacheStats {
 	n := len(c.mem)
 	bytes := c.memBytes
 	c.mu.Unlock()
+	c.dmu.Lock()
+	dn := len(c.disk)
+	dbytes := c.diskBytes
+	c.dmu.Unlock()
 	mem, disk := c.memHits.Load(), c.diskHits.Load()
 	return CacheStats{
-		Hits:      mem + disk,
-		MemHits:   mem,
-		DiskHits:  disk,
-		Misses:    c.misses.Load(),
-		Coalesced: c.coalesced.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   n,
-		MemBytes:  bytes,
+		Hits:          mem + disk,
+		MemHits:       mem,
+		DiskHits:      disk,
+		Misses:        c.misses.Load(),
+		Coalesced:     c.coalesced.Load(),
+		Evictions:     c.evictions.Load(),
+		Entries:       n,
+		MemBytes:      bytes,
+		DiskEvictions: c.diskEvictions.Load(),
+		DiskEntries:   dn,
+		DiskBytes:     dbytes,
 	}
 }

@@ -1,0 +1,95 @@
+package axserver
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// submitPipelineReq submits one pipeline request and returns the terminal
+// job plus its decoded result.
+func submitPipelineReq(t *testing.T, base string, req PipelineRequest) (JobInfo, PipelineResult) {
+	t.Helper()
+	var job JobInfo
+	if code := postJSON(t, base+"/v1/pipelines", req, &job); code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	info := waitJob(t, base, job.ID)
+	if info.State != JobSucceeded {
+		t.Fatalf("pipeline: %s (%s)", info.State, info.Error)
+	}
+	var res PipelineResult
+	if err := json.Unmarshal(info.Result, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	return info, res
+}
+
+// TestPipelineEngineSelection: the request's search.engine drives the DSE
+// step and is echoed in the result; unknown names are rejected up front.
+func TestPipelineEngineSelection(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	_, res := submitPipelineReq(t, ts.URL, tinyPipeline(4))
+	if res.SearchEngine != "hillclimb" {
+		t.Fatalf("default search engine = %q, want hillclimb", res.SearchEngine)
+	}
+	req := tinyPipeline(4)
+	req.Search.Engine = "nsga2"
+	_, res = submitPipelineReq(t, ts.URL, req)
+	if res.SearchEngine != "nsga2" {
+		t.Fatalf("search engine = %q, want nsga2", res.SearchEngine)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("nsga2 pipeline produced an empty front")
+	}
+
+	req.Search.Engine = "simulated-annealing"
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if code := postJSON(t, ts.URL+"/v1/pipelines", req, &errResp); code != http.StatusBadRequest {
+		t.Fatalf("unknown engine: status %d, want 400", code)
+	}
+}
+
+// TestPipelineEngineCacheKeyRotation pins the cache-key contract of the
+// search spec: spelling out the defaults hits the same entry, while a
+// different engine or search seed is a different computation and must
+// miss.
+func TestPipelineEngineCacheKeyRotation(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+
+	first, _ := submitPipelineReq(t, ts.URL, tinyPipeline(4))
+	if first.Cached {
+		t.Fatal("first run cannot be cached")
+	}
+
+	// Explicitly spelling the defaulted engine and seed must collide with
+	// the defaulted request — normalization, not raw JSON, keys the cache.
+	explicit := tinyPipeline(4)
+	explicit.Search = SearchSpec{Engine: "hillclimb", Seed: 4 + 300}
+	hit, _ := submitPipelineReq(t, ts.URL, explicit)
+	if !hit.Cached {
+		t.Fatal("explicitly spelled default search spec missed the cache")
+	}
+
+	// A different engine is a different computation under the same inputs.
+	other := tinyPipeline(4)
+	other.Search.Engine = "random"
+	miss, res := submitPipelineReq(t, ts.URL, other)
+	if miss.Cached {
+		t.Fatal("engine switch served a stale cache entry")
+	}
+	if res.SearchEngine != "random" {
+		t.Fatalf("search engine = %q, want random", res.SearchEngine)
+	}
+
+	// So is a different search seed with the default engine.
+	reseeded := tinyPipeline(4)
+	reseeded.Search.Seed = 999
+	miss, _ = submitPipelineReq(t, ts.URL, reseeded)
+	if miss.Cached {
+		t.Fatal("search-seed change served a stale cache entry")
+	}
+}

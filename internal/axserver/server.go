@@ -64,6 +64,11 @@ type Options struct {
 	// reachable through the disk tier when CacheDir is set).  0 keeps the
 	// memory tier unbounded.
 	MemCacheBytes int64
+	// DiskCacheBytes bounds the on-disk artifact tier the same way:
+	// beyond this many bytes the least-recently-used cache files are
+	// deleted.  0 keeps the disk tier unbounded; ignored without a
+	// CacheDir.
+	DiskCacheBytes int64
 	// Logger receives structured lifecycle events (job.accept, job.start,
 	// job.done, job.cancel, cache.selfheal).  nil discards them.
 	Logger *slog.Logger
@@ -95,7 +100,10 @@ func New(opts Options) (*Server, error) {
 	if opts.MemCacheBytes < 0 {
 		return nil, fmt.Errorf("axserver: memory cache budget must be non-negative, got %d", opts.MemCacheBytes)
 	}
-	cache, err := NewCacheSized(opts.CacheDir, opts.MemCacheBytes)
+	if opts.DiskCacheBytes < 0 {
+		return nil, fmt.Errorf("axserver: disk cache budget must be non-negative, got %d", opts.DiskCacheBytes)
+	}
+	cache, err := NewCacheTiered(opts.CacheDir, opts.MemCacheBytes, opts.DiskCacheBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -269,6 +277,15 @@ func (r PipelineRequest) normalized() PipelineRequest {
 	}
 	if r.Engine == "" {
 		r.Engine = d.Engine.Name
+	}
+	if r.Search.Engine == "" {
+		r.Search.Engine = dse.DefaultEngineName
+	}
+	if r.Search.Seed == 0 {
+		// The execution path derives seed+300 (the historical explore
+		// seed) from an unset search seed; normalizing the derivation here
+		// makes the explicit spelling hash to the same key.
+		r.Search.Seed = r.Seed + 300
 	}
 	return r
 }
@@ -664,6 +681,9 @@ func (s *Server) SubmitPipeline(req PipelineRequest) (JobInfo, error) {
 			return JobInfo{}, err
 		}
 	}
+	if _, err := dse.SearchEngineByName(req.Search.Engine); err != nil {
+		return JobInfo{}, err
+	}
 	if err := validateImages(req.Images); err != nil {
 		return JobInfo{}, err
 	}
@@ -718,6 +738,8 @@ func (s *Server) computePipeline(ctx context.Context, req PipelineRequest, app *
 		TestConfigs:  req.TestConfigs,
 		SearchEvals:  req.SearchEvals,
 		Stagnation:   req.Stagnation,
+		SearchEngine: req.Search.Engine,
+		SearchSeed:   req.Search.Seed,
 		Parallelism:  s.evalParallelism(req.Parallelism),
 		Seed:         req.Seed,
 		AutoEngine:   req.AutoEngine,
@@ -747,6 +769,7 @@ func (s *Server) computePipeline(ctx context.Context, req PipelineRequest, app *
 		QoRFidelity:  pipe.QoRFidelity,
 		HWFidelity:   pipe.HWFidelity,
 		Engine:       pipe.Opt.Engine.Name,
+		SearchEngine: req.Search.Engine,
 		Front:        front,
 	}, nil
 }

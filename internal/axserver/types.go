@@ -149,6 +149,20 @@ type EvaluateResult struct {
 	Results    []EvalResult `json:"results"`
 }
 
+// SearchSpec selects the Step 3 search engine of a pipeline run.  Both
+// fields participate in the content-addressed pipeline key — results
+// depend on them — so switching engine or seed on an otherwise identical
+// request is a cache miss, never a stale hit.
+type SearchSpec struct {
+	// Engine names a registered dse search engine (hillclimb, random,
+	// nsga2); empty means the default, Algorithm 1's hill climb.
+	Engine string `json:"engine,omitempty"`
+	// Seed drives the engine's random streams.  0 derives the historical
+	// default from the request seed (seed+300), so existing requests keep
+	// their exact results.
+	Seed int64 `json:"seed,omitempty"`
+}
+
 // PipelineRequest asks for one full methodology run (Steps 1–3) of the
 // autoAx flow on an accelerator — a named case study (App) or an inline
 // wire-format accelerator (Accelerator); exactly one must be set.  Zero
@@ -169,6 +183,10 @@ type PipelineRequest struct {
 	Engine       string `json:"engine,omitempty"` // ml engine name; empty = default
 	AutoEngine   bool   `json:"autoEngine,omitempty"`
 	Seed         int64  `json:"seed,omitempty"`
+	// Search selects the Step 3 search engine and its seed.  Always
+	// serialized in the normalized request, so it folds into the pipeline
+	// cache key.
+	Search SearchSpec `json:"search"`
 	// Parallelism bounds the per-shard evaluator workers for the run's
 	// precise-evaluation batches (0 = server default, 1 = sequential).
 	// Execution knob only — excluded from the content-addressed cache key
@@ -187,11 +205,14 @@ type FrontEntry struct {
 
 // PipelineResult is the result payload of a pipeline job.
 type PipelineResult struct {
-	LibraryKey   string       `json:"libraryKey"`
-	SpaceConfigs float64      `json:"spaceConfigs"` // reduced-space size
-	QoRFidelity  float64      `json:"qorFidelity"`
-	HWFidelity   float64      `json:"hwFidelity"`
-	Engine       string       `json:"engine"`
+	LibraryKey   string  `json:"libraryKey"`
+	SpaceConfigs float64 `json:"spaceConfigs"` // reduced-space size
+	QoRFidelity  float64 `json:"qorFidelity"`
+	HWFidelity   float64 `json:"hwFidelity"`
+	Engine       string  `json:"engine"`
+	// SearchEngine echoes the Step 3 search engine the run used (the
+	// normalized Search.Engine — never empty).
+	SearchEngine string       `json:"searchEngine"`
 	Front        []FrontEntry `json:"front"`
 }
 
@@ -271,11 +292,19 @@ type CacheStats struct {
 	// or racing to fill the cache.
 	Coalesced int64 `json:"coalesced"`
 	// Evictions counts memory-tier entries dropped to stay inside the
-	// configured byte budget (disk entries are never evicted).
+	// configured byte budget (they remain reachable through the disk tier
+	// when one is configured).
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
 	// MemBytes is the summed size of the memory-tier entries.
 	MemBytes int64 `json:"memBytes"`
+	// DiskEvictions counts disk-tier entries removed to stay inside the
+	// configured disk byte budget (0 when the disk tier is unbounded).
+	DiskEvictions int64 `json:"diskEvictions"`
+	// DiskEntries / DiskBytes describe the disk tier's current contents
+	// (tracked only when a CacheDir is configured).
+	DiskEntries int   `json:"diskEntries"`
+	DiskBytes   int64 `json:"diskBytes"`
 }
 
 // Stats is the payload of GET /v1/stats.

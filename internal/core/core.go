@@ -48,10 +48,17 @@ type Config struct {
 	// are split 70/30, every registry engine is fitted on the first part
 	// and scored on the second, and the best mean (QoR, HW) fidelity wins.
 	AutoEngine bool
-	// SearchEvals is the Algorithm 1 estimator budget (paper: 10⁵–10⁶).
+	// SearchEvals is the Step 3 estimator budget (paper: 10⁵–10⁶).
 	SearchEvals int
 	// Stagnation is the restart threshold of Algorithm 1 (paper: 50).
 	Stagnation int
+	// SearchEngine names the registered dse search engine Step 3 runs
+	// ("hillclimb", "random", "nsga2"; see dse.SearchEngines).  Empty
+	// means dse.DefaultEngineName — the paper's Algorithm 1 hill climb.
+	SearchEngine string
+	// SearchSeed seeds the engine's random streams.  0 derives Seed+300,
+	// the historical explore seed, so default runs are unchanged.
+	SearchSeed int64
 	// Parallelism bounds the per-shard evaluator workers used for the
 	// precise-evaluation batches (Step 2 sample generation and Step 3
 	// re-evaluation).  0 means runtime.GOMAXPROCS, 1 forces the
@@ -112,6 +119,9 @@ func NewPipeline(app *accel.ImageApp, lib *acl.Library, images []*imagedata.Imag
 	}
 	if opt.Seed == 0 {
 		opt.Seed = 1
+	}
+	if _, err := dse.SearchEngineByName(opt.SearchEngine); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	ev, err := accel.NewEvaluator(app, images)
 	if err != nil {
@@ -275,12 +285,19 @@ func (p *Pipeline) ExploreContext(ctx context.Context) error {
 	}
 	r := p.startStage(StageExplore, int64(p.Opt.SearchEvals))
 	defer r.finish()
-	// The models-backed climb patches neighbor features incrementally and
-	// is bit-identical to the generic estimator path.
-	pseudo, err := p.Models.HillClimbContext(ctx, dse.SearchOptions{
+	seed := p.Opt.SearchSeed
+	if seed == 0 {
+		seed = p.Opt.Seed + 300
+	}
+	// Dispatch through the engine seam.  The default engine is the
+	// models-backed incremental climb, bit-identical to the pre-seam
+	// direct Models.HillClimbContext call; every engine preserves the
+	// stage observer through Progress.
+	pseudo, err := dse.RunEngine(ctx, p.Opt.SearchEngine, p.Models, dse.SearchOptions{
 		Evaluations: p.Opt.SearchEvals,
 		Stagnation:  p.Opt.Stagnation,
-		Seed:        p.Opt.Seed + 300,
+		Parallelism: p.Opt.Parallelism,
+		Seed:        seed,
 		Progress:    func(done, total int) { r.set(int64(done)) },
 	})
 	if err != nil {

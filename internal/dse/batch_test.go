@@ -48,7 +48,7 @@ func (a *refLinearArchive) insert(p pareto.Point, payload []int) bool {
 // estimator calls, linear archive, restarts drawing from the archive's
 // storage order.
 func refHillClimb(s Space, est Estimator, opt SearchOptions) *refLinearArchive {
-	opt = opt.withDefaults()
+	opt, _ = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	archive := &refLinearArchive{}
 	parent := s.RandomConfig(rng)

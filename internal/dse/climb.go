@@ -51,7 +51,10 @@ func (m *Models) HillClimb(opt SearchOptions) *pareto.Archive[[]int] {
 // outside archive growth.
 func (m *Models) HillClimbContext(ctx context.Context, opt SearchOptions) (*pareto.Archive[[]int], error) {
 	m.compile()
-	opt = opt.withDefaults()
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return &pareto.Archive[[]int]{}, err
+	}
 	s := m.Space
 	n := len(s)
 	rng := rand.New(rand.NewSource(opt.Seed))

@@ -18,6 +18,15 @@ var (
 	climbRestarts   = obs.Default().Counter("autoax_dse_climb_restarts_total")
 	batchEstimates  = obs.Default().Counter("autoax_dse_batch_estimates_total")
 	preciseEvals    = obs.Default().Counter("autoax_dse_precise_evals_total")
+
+	// NSGA-II engine internals, mirroring the climb instrumentation:
+	// counters accumulate in nsga2Stats locals and flush at generation
+	// boundaries; the per-generation non-dominated-sort span records
+	// directly (one histogram observation per generation).
+	nsga2Generations = obs.Default().Counter("autoax_dse_nsga2_generations_total")
+	nsga2Inserts     = obs.Default().Counter("autoax_dse_nsga2_inserts_total")
+	nsga2Evictions   = obs.Default().Counter("autoax_dse_nsga2_evictions_total")
+	nsga2SortTime    = obs.Default().Histogram("autoax_dse_nsga2_sort_us", obs.DefaultLatencyBuckets)
 )
 
 // climbStats locally accumulates one climb's counters between flushes.
@@ -47,4 +56,23 @@ func (s *climbStats) flush() {
 		climbRestarts.Add(s.restarts)
 	}
 	*s = climbStats{}
+}
+
+// nsga2Stats locally accumulates one nsga2 run's counters between flushes
+// (once per generation and on return).
+type nsga2Stats struct {
+	generations, inserts, evictions int64
+}
+
+func (s *nsga2Stats) flush() {
+	if s.generations > 0 {
+		nsga2Generations.Add(s.generations)
+	}
+	if s.inserts > 0 {
+		nsga2Inserts.Add(s.inserts)
+	}
+	if s.evictions > 0 {
+		nsga2Evictions.Add(s.evictions)
+	}
+	*s = nsga2Stats{}
 }

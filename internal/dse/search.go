@@ -12,31 +12,72 @@ import (
 )
 
 // SearchOptions parameterizes the Pareto-construction searches.
+//
+// Numeric fields follow a zero-means-default contract at the Engine
+// boundary: leaving a field zero selects the documented default, so an
+// explicit zero budget is unrepresentable by design.  Negative values are
+// invalid and surface as *OptionError from Engine.Run and the *Context
+// entry points (the error-less wrappers return an empty archive).
 type SearchOptions struct {
 	// Evaluations bounds the number of estimator calls (the paper's
-	// termination condition).
+	// termination condition).  0 means 10000.
 	Evaluations int
 	// Stagnation is the restart threshold k of Algorithm 1 (paper: 50).
+	// 0 means 50.  Population engines ignore it.
 	Stagnation int
-	// Seed makes runs reproducible.
+	// Population is the generation size of population engines (nsga2).
+	// 0 means 64.  Point-based engines ignore it.
+	Population int
+	// Parallelism bounds the goroutines population engines use to score
+	// one generation (0 means runtime.GOMAXPROCS, 1 forces sequential
+	// scoring).  It is an execution knob, not a search parameter: results
+	// are bit-identical at every setting.
+	Parallelism int
+	// Seed makes runs reproducible: an engine run is a pure function of
+	// (models, engine name, Seed, budget).
 	Seed int64
 	// Progress, when set, is called from the search goroutine with the
 	// number of estimator evaluations performed so far and the total
-	// budget — at every context checkpoint (ctxCheckStride evaluations)
+	// budget — at every context checkpoint (ctxCheckStride evaluations
+	// for the point searches, every generation for population engines)
 	// and once on completion.  It observes the search without perturbing
 	// it: the trajectory, rng draws and archive are identical with or
 	// without a callback.
 	Progress func(done, total int)
 }
 
-func (o SearchOptions) withDefaults() SearchOptions {
+// OptionError reports a SearchOptions field that violates the
+// zero-means-default contract (a negative value).
+type OptionError struct {
+	Field string
+	Value int
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("dse: SearchOptions.%s must be >= 0 (0 means default), got %d", e.Field, e.Value)
+}
+
+func (o SearchOptions) withDefaults() (SearchOptions, error) {
+	switch {
+	case o.Evaluations < 0:
+		return o, &OptionError{"Evaluations", o.Evaluations}
+	case o.Stagnation < 0:
+		return o, &OptionError{"Stagnation", o.Stagnation}
+	case o.Population < 0:
+		return o, &OptionError{"Population", o.Population}
+	case o.Parallelism < 0:
+		return o, &OptionError{"Parallelism", o.Parallelism}
+	}
 	if o.Stagnation == 0 {
 		o.Stagnation = 50
 	}
 	if o.Evaluations == 0 {
 		o.Evaluations = 10000
 	}
-	return o
+	if o.Population == 0 {
+		o.Population = 64
+	}
+	return o, nil
 }
 
 // point converts an estimate to the minimized objective vector (−QoR, hw).
@@ -60,7 +101,10 @@ const ctxCheckStride = 1024
 // every ctxCheckStride estimator evaluations, so a cancelled job abandons
 // the climb mid-search instead of draining the whole evaluation budget.
 func HillClimbContext(ctx context.Context, s Space, est Estimator, opt SearchOptions) (*pareto.Archive[[]int], error) {
-	opt = opt.withDefaults()
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return &pareto.Archive[[]int]{}, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	archive := &pareto.Archive[[]int]{}
 
@@ -125,15 +169,38 @@ func HillClimbContext(ctx context.Context, s Space, est Estimator, opt SearchOpt
 // RandomSearch is the paper's RS baseline: uniform random configurations
 // filtered through the same Pareto archive.
 func RandomSearch(s Space, est Estimator, opt SearchOptions) *pareto.Archive[[]int] {
-	opt = opt.withDefaults()
+	a, _ := RandomSearchContext(context.Background(), s, est, opt)
+	return a
+}
+
+// RandomSearchContext is RandomSearch with cancellation and progress:
+// the context is checked (and Progress called) every ctxCheckStride
+// evaluations, which consumes no rng draws — the trajectory is identical
+// to RandomSearch with the same seed.
+func RandomSearchContext(ctx context.Context, s Space, est Estimator, opt SearchOptions) (*pareto.Archive[[]int], error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return &pareto.Archive[[]int]{}, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	archive := &pareto.Archive[[]int]{}
 	for evals := 0; evals < opt.Evaluations; evals++ {
+		if evals > 0 && evals%ctxCheckStride == 0 {
+			if opt.Progress != nil {
+				opt.Progress(evals, opt.Evaluations)
+			}
+			if err := ctx.Err(); err != nil {
+				return archive, err
+			}
+		}
 		c := s.RandomConfig(rng)
 		q, h := est(c)
 		archive.Insert(point(q, h), c)
 	}
-	return archive
+	if opt.Progress != nil {
+		opt.Progress(opt.Evaluations, opt.Evaluations)
+	}
+	return archive, nil
 }
 
 // estimateBatchSize is how many configurations the batched search loops
@@ -149,7 +216,19 @@ const estimateBatchSize = 256
 // rng draws, identical estimates, identical insertion sequence); only
 // payloads the archive accepts are copied out of the batch buffer.
 func RandomSearchBatch(s Space, est BatchEstimator, opt SearchOptions) *pareto.Archive[[]int] {
-	opt = opt.withDefaults()
+	a, _ := RandomSearchBatchContext(context.Background(), s, est, opt)
+	return a
+}
+
+// RandomSearchBatchContext is RandomSearchBatch with cancellation and
+// progress, checked between batches (no rng draws consumed — trajectories
+// match RandomSearchBatch draw for draw).  It backs the registered
+// "random" engine.
+func RandomSearchBatchContext(ctx context.Context, s Space, est BatchEstimator, opt SearchOptions) (*pareto.Archive[[]int], error) {
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return &pareto.Archive[[]int]{}, err
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	archive := &pareto.Archive[[]int]{}
 	buf := make([]int, estimateBatchSize*len(s))
@@ -160,6 +239,14 @@ func RandomSearchBatch(s Space, est BatchEstimator, opt SearchOptions) *pareto.A
 	qor := make([]float64, estimateBatchSize)
 	hw := make([]float64, estimateBatchSize)
 	for done := 0; done < opt.Evaluations; {
+		if done > 0 {
+			if opt.Progress != nil {
+				opt.Progress(done, opt.Evaluations)
+			}
+			if err := ctx.Err(); err != nil {
+				return archive, err
+			}
+		}
 		n := opt.Evaluations - done
 		if n > estimateBatchSize {
 			n = estimateBatchSize
@@ -175,7 +262,10 @@ func RandomSearchBatch(s Space, est BatchEstimator, opt SearchOptions) *pareto.A
 		}
 		done += n
 	}
-	return archive
+	if opt.Progress != nil {
+		opt.Progress(opt.Evaluations, opt.Evaluations)
+	}
+	return archive, nil
 }
 
 // ExhaustiveLimit caps the space size Exhaustive will enumerate.

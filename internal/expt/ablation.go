@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -141,7 +142,11 @@ func AblationStagnation(w io.Writer, s Setup) error {
 	fmt.Fprintln(tw, "k\t#Pareto\tFrom avg\tFrom max")
 	var csv [][]string
 	for _, k := range []int{5, 20, 50, 200, 1 << 30} {
-		hc := models.HillClimb(dse.SearchOptions{Evaluations: budget, Stagnation: k, Seed: s.Seed + 31})
+		hc, err := dse.RunEngine(context.Background(), s.SearchEngine, models,
+			dse.SearchOptions{Evaluations: budget, Stagnation: k, Seed: s.Seed + 31})
+		if err != nil {
+			return err
+		}
 		d := pareto.FrontDistances(hc.Points(), optimal.Points())
 		label := fmt.Sprint(k)
 		if k == 1<<30 {
@@ -154,4 +159,40 @@ func AblationStagnation(w io.Writer, s Setup) error {
 		return err
 	}
 	return s.writeCSV("ablation_stagnation.csv", []string{"k", "pareto", "from_avg", "from_max"}, csv)
+}
+
+// AblationEngines compares every registered search engine on the capped
+// Sobel space at the largest Table 4 budget: front size and distance from
+// the exhaustive optimum, all engines seeing identical models and seed.
+func AblationEngines(w io.Writer, s Setup) error {
+	pipe, err := s.Pipeline("sobel")
+	if err != nil {
+		return err
+	}
+	p := s.params()
+	space := cappedSpace(pipe.Space, p.table4Cap)
+	models := &dse.Models{QoR: pipe.Models.QoR, HW: pipe.Models.HW, Space: space}
+	optimal, err := dse.ExhaustiveBatch(space, models.BatchEstimator, s.Parallelism)
+	if err != nil {
+		return err
+	}
+	budget := p.table4Budgets[len(p.table4Budgets)-1]
+	fmt.Fprintf(w, "Ablation: search engines at budget %d (scale=%s)\n", budget, s.Scale)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Engine\t#Pareto\tFrom avg\tFrom max")
+	var csv [][]string
+	for _, name := range dse.SearchEngines() {
+		arch, err := dse.RunEngine(context.Background(), name, models,
+			dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10, Parallelism: s.Parallelism})
+		if err != nil {
+			return err
+		}
+		d := pareto.FrontDistances(arch.Points(), optimal.Points())
+		fmt.Fprintf(tw, "%s\t%d\t%.5f\t%.5f\n", name, arch.Len(), d.FromAvg, d.FromMax)
+		csv = append(csv, []string{name, fmt.Sprint(arch.Len()), ftoa(d.FromAvg, 6), ftoa(d.FromMax, 6)})
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	return s.writeCSV("ablation_engines.csv", []string{"engine", "pareto", "from_avg", "from_max"}, csv)
 }

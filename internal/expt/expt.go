@@ -57,6 +57,10 @@ type Setup struct {
 	// and exhaustive enumeration (0 = runtime.GOMAXPROCS, 1 = sequential).
 	// Results are identical at every setting.
 	Parallelism int
+	// SearchEngine names the registered dse engine driving the model-based
+	// searches (pipelines, Table 4, stagnation ablation).  Empty selects
+	// dse.DefaultEngineName — the paper's hill climber.
+	SearchEngine string
 }
 
 // params bundles the per-scale knob settings.
@@ -126,9 +130,10 @@ func (s Setup) params() params {
 // cache shares expensive products (library, pipelines) between drivers in
 // one process — Table 5 and Figure 5 reuse the same methodology runs.
 type cacheKey struct {
-	scale Scale
-	seed  int64
-	what  string
+	scale  Scale
+	seed   int64
+	engine string // search-engine choice changes pipeline products
+	what   string
 }
 
 var (
@@ -137,7 +142,7 @@ var (
 )
 
 func cached[T any](s Setup, what string, build func() (T, error)) (T, error) {
-	key := cacheKey{s.Scale, s.Seed, what}
+	key := cacheKey{s.Scale, s.Seed, s.SearchEngine, what}
 	cacheMu.Lock()
 	if v, ok := cache[key]; ok {
 		cacheMu.Unlock()
@@ -197,7 +202,7 @@ func AppNames() []string { return []string{"sobel", "fixedgf", "genericgf"} }
 // pipelineConfig returns the core.Config for one app under this setup.
 func (s Setup) pipelineConfig(name string) core.Config {
 	p := s.params()
-	cfg := core.Config{Engine: ml.Engines()[0], Stagnation: 50, Parallelism: s.Parallelism, Seed: s.Seed}
+	cfg := core.Config{Engine: ml.Engines()[0], Stagnation: 50, Parallelism: s.Parallelism, Seed: s.Seed, SearchEngine: s.SearchEngine}
 	if name == "sobel" {
 		cfg.TrainConfigs, cfg.TestConfigs, cfg.SearchEvals = p.trainSobel, p.testSobel, p.evalsSobel
 	} else {

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -167,10 +168,25 @@ func Table4Rows(s Setup) ([]Table4Row, error) {
 		Evals:     int(space.NumConfigs()),
 		Pareto:    optimal.Len(),
 	}}
+	// The "Proposed" rows go through the pluggable engine seam so an
+	// engine-switched Setup compares its search against the same optimum;
+	// with the default hill climber the rows are identical to the pre-seam
+	// models.HillClimb output.
+	eng, err := dse.SearchEngineByName(s.SearchEngine)
+	if err != nil {
+		return nil, err
+	}
+	label := "Proposed"
+	if eng.Name() != dse.DefaultEngineName {
+		label = "Proposed (" + eng.Name() + ")"
+	}
 	for _, budget := range p.table4Budgets {
-		hc := models.HillClimb(dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10})
+		hc, err := eng.Run(context.Background(), models, dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10})
+		if err != nil {
+			return nil, err
+		}
 		d := pareto.FrontDistances(hc.Points(), optimal.Points())
-		rows = append(rows, Table4Row{"Proposed", budget, hc.Len(), d.ToAvg, d.ToMax, d.FromAvg, d.FromMax})
+		rows = append(rows, Table4Row{label, budget, hc.Len(), d.ToAvg, d.ToMax, d.FromAvg, d.FromMax})
 	}
 	for _, budget := range p.table4Budgets {
 		rs := dse.RandomSearchBatch(space, rsEst, dse.SearchOptions{Evaluations: budget, Seed: s.Seed + 10})

@@ -15,14 +15,14 @@
 # The trajectory benchmarks cover both paper inner loops: precise
 # configuration analysis (NetlistEval, NetlistEvalBlock, Characterize,
 # PreciseEvaluation, SSIM) and model-based estimation (ModelEstimate,
-# CompiledForestPredict, HillClimb1k), plus RandomForestFit for training
-# and the observability hot path (ObsCounter, ObsHistogram,
-# HillClimb1kObserved — compare against HillClimb1k for the instrumented
-# overhead).
+# CompiledForestPredict, HillClimb1k, NSGA2Gen1k — the two search
+# engines), plus RandomForestFit for training and the observability hot
+# path (ObsCounter, ObsHistogram, HillClimb1kObserved — compare against
+# HillClimb1k for the instrumented overhead).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER=${BENCH_FILTER:-'^(BenchmarkNetlistEval|BenchmarkNetlistEvalBlock|BenchmarkCharacterize|BenchmarkPreciseEvaluation|BenchmarkEvaluateAllCached|BenchmarkHillClimb1k|BenchmarkHillClimb1kObserved|BenchmarkRandomSearch1k|BenchmarkModelEstimate|BenchmarkModelEstimateBatch|BenchmarkCompiledForestPredict|BenchmarkSSIM|BenchmarkSimplify|BenchmarkProfile|BenchmarkRandomForestFit|BenchmarkObsCounter|BenchmarkObsHistogram)$'}
+FILTER=${BENCH_FILTER:-'^(BenchmarkNetlistEval|BenchmarkNetlistEvalBlock|BenchmarkCharacterize|BenchmarkPreciseEvaluation|BenchmarkEvaluateAllCached|BenchmarkHillClimb1k|BenchmarkHillClimb1kObserved|BenchmarkNSGA2Gen1k|BenchmarkRandomSearch1k|BenchmarkModelEstimate|BenchmarkModelEstimateBatch|BenchmarkCompiledForestPredict|BenchmarkSSIM|BenchmarkSimplify|BenchmarkProfile|BenchmarkRandomForestFit|BenchmarkObsCounter|BenchmarkObsHistogram)$'}
 COUNT=${BENCH_COUNT:-3}
 
 go test -run '^$' -bench "$FILTER" -benchmem -count "$COUNT" . |
