@@ -38,7 +38,15 @@
 //	                   behind `autoax serve`; accepts named apps or
 //	                   inline wire-format accelerators
 //	axclient           typed Go client SDK for the job service (public,
-//	                   re-exported here as Client/NewClient)
+//	                   re-exported here as Client/NewClient) with
+//	                   transient-failure retry and the fleet worker adapter
+//	fleet              seed-wire distributed search: a coordinator
+//	                   partitions one budget into seed-derived shards,
+//	                   dispatches them to workers (in-process or remote
+//	                   axservers) and merges the survivors into a global
+//	                   archive that is bit-identical however the shards
+//	                   land — surfaced here as FleetCoordinator and
+//	                   behind `autoax search -fleet`
 package autoax
 
 import (
@@ -52,6 +60,7 @@ import (
 	"autoax/internal/core"
 	"autoax/internal/dse"
 	"autoax/internal/expt"
+	"autoax/internal/fleet"
 	"autoax/internal/imagedata"
 	"autoax/internal/ml"
 	"autoax/internal/obs"
@@ -162,7 +171,8 @@ type (
 )
 
 // Re-exported client SDK (see axclient): a typed Go client for the job
-// service with backoff polling and typed result decoding.
+// service with backoff polling, transient-failure retry and typed result
+// decoding.
 type (
 	// Client talks to one autoAx job service over HTTP.
 	Client = axclient.Client
@@ -171,6 +181,68 @@ type (
 	// APIError is a non-2xx server response surfaced by the client.
 	APIError = axclient.APIError
 )
+
+// Re-exported distributed-search types (see internal/fleet): a
+// coordinator partitions one evaluation budget into seed-derived shards,
+// dispatches them to workers — in-process, or remote `autoax serve`
+// instances through FleetShardWorker — and merges the Pareto survivors
+// into one archive in deterministic shard order.  The result is
+// bit-identical for any worker count, shard placement or injected
+// mid-run failure (failed shards are retried and reissued to healthy
+// workers).
+type (
+	// FleetCoordinator owns one distributed search: Workers plus Opts in,
+	// a merged archive plus FleetStats out of Search.
+	FleetCoordinator = fleet.Coordinator
+	// FleetOptions tunes timeouts, retries, backoff, worker benching,
+	// straggler re-dispatch and the test-only fault-injection hook.
+	FleetOptions = fleet.Options
+	// FleetStats reports what a fleet search did: dispatch, retry,
+	// reissue, speculative and failure counts.
+	FleetStats = fleet.Stats
+	// FleetShardSpec is one deterministic slice of a search — library
+	// hash, engine, derived seed, budget.  Part of the wire protocol.
+	FleetShardSpec = fleet.ShardSpec
+	// FleetShardResult carries one shard's archive survivors.
+	FleetShardResult = fleet.ShardResult
+	// FleetShardPoint is one archive survivor on the wire: objective
+	// point plus configuration.
+	FleetShardPoint = fleet.ShardPoint
+	// FleetWorker executes shards; implemented by FleetLocalWorker and
+	// axclient.ShardWorker.
+	FleetWorker = fleet.Worker
+	// FleetLocalWorker runs shards in-process over models resolved by
+	// library hash.
+	FleetLocalWorker = fleet.LocalWorker
+	// FleetShardWorker drives a remote `autoax serve` worker over
+	// POST /v1/search/shards.
+	FleetShardWorker = axclient.ShardWorker
+	// ServerShardRequest is the wire form of POST /v1/search/shards: the
+	// shared model context plus one FleetShardSpec.
+	ServerShardRequest = axserver.SearchShardRequest
+	// ServerShardResponse echoes the shard identity and returns its
+	// archive survivors.
+	ServerShardResponse = axserver.SearchShardResponse
+)
+
+// FleetProtocolVersion is the shard wire-protocol version spoken by this
+// build's coordinator, client and server (advertised by GET /v1/healthz).
+const FleetProtocolVersion = fleet.ProtocolVersion
+
+// FleetPartition splits a base shard spec's evaluation budget into n
+// shards whose seeds derive from DeriveSearchSeed — the partition a
+// coordinator dispatches and the reference a single process can replay.
+var FleetPartition = fleet.Partition
+
+// FleetMerge folds shard results into one archive in slice order —
+// deterministic whatever order the shards completed in.
+var FleetMerge = fleet.Merge
+
+// DeriveSearchSeed maps (engine, stream label, master seed) to the
+// decorrelated stream seed used by engine internals and fleet shards
+// ("fleet/shard/<i>").  It is part of the distributed wire protocol and
+// pinned by golden-vector tests.
+var DeriveSearchSeed = dse.DeriveSeed
 
 // Re-exported observability types (see internal/obs): the process-wide
 // metric registry backing GET /v1/metrics, expvar and the Prometheus text

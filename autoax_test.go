@@ -305,3 +305,59 @@ func TestPublicAPIClientPipelineParity(t *testing.T) {
 		}
 	}
 }
+
+// TestPublicAPIFleet exercises the distributed-search surface through the
+// facade: the partition/merge/seed-derivation helpers and the protocol
+// version, plus the adapter types wiring a Client into a coordinator.
+func TestPublicAPIFleet(t *testing.T) {
+	specs, err := autoax.FleetPartition(autoax.FleetShardSpec{
+		LibraryHash: "lib-hash",
+		Engine:      "hillclimb",
+		Seed:        7,
+		Evaluations: 1000,
+	}, 4)
+	if err != nil {
+		t.Fatalf("FleetPartition: %v", err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d shards, want 4", len(specs))
+	}
+	total := 0
+	for i, sp := range specs {
+		total += sp.Evaluations
+		want := autoax.DeriveSearchSeed("hillclimb", "fleet/shard/"+string(rune('0'+i)), 7)
+		if sp.Seed != want {
+			t.Errorf("shard %d seed %d, want the derived stream seed %d", i, sp.Seed, want)
+		}
+	}
+	if total != 1000 {
+		t.Fatalf("partition sums to %d evaluations, want 1000", total)
+	}
+	if autoax.FleetProtocolVersion < 1 {
+		t.Fatalf("implausible fleet protocol version %d", autoax.FleetProtocolVersion)
+	}
+
+	// The remote adapter satisfies the worker seam the coordinator takes.
+	var _ autoax.FleetWorker = &autoax.FleetShardWorker{Client: autoax.NewClient("http://localhost:0")}
+	var _ autoax.FleetWorker = &autoax.FleetLocalWorker{}
+
+	// Merging shard results in slice order is deterministic and pure.
+	merged := autoax.FleetMerge([]*autoax.FleetShardResult{
+		{Points: []autoax.FleetShardPoint{
+			{Point: []float64{-0.9, 100}, Config: []int{1, 2}},
+			{Point: []float64{-0.5, 50}, Config: []int{0, 0}},
+		}},
+		nil,
+		{Points: []autoax.FleetShardPoint{
+			{Point: []float64{-0.9, 100}, Config: []int{3, 4}}, // duplicate point: first insert wins
+		}},
+	})
+	if merged.Len() != 2 {
+		t.Fatalf("merged archive has %d points, want 2", merged.Len())
+	}
+	for _, cfg := range merged.Payloads() {
+		if len(cfg) == 2 && cfg[0] == 3 && cfg[1] == 4 {
+			t.Fatal("equal-point tie must keep the first-inserted configuration")
+		}
+	}
+}

@@ -129,24 +129,28 @@ func apiError(resp *http.Response) *APIError {
 }
 
 // SubmitLibrary enqueues a content-addressed library build
-// (POST /v1/libraries) and returns the queued job.
+// (POST /v1/libraries) and returns the queued job.  Transient transport
+// failures are retried with capped backoff (see transientError); repeats
+// are safe because identical submissions coalesce server-side.
 func (c *Client) SubmitLibrary(ctx context.Context, req axserver.LibraryRequest) (axserver.JobInfo, error) {
 	var info axserver.JobInfo
-	err := c.do(ctx, http.MethodPost, "/v1/libraries", req, &info)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/libraries", req, &info)
 	return info, err
 }
 
 // SubmitEvaluate enqueues a precise-evaluation job (POST /v1/evaluate).
+// Transient transport failures are retried with capped backoff.
 func (c *Client) SubmitEvaluate(ctx context.Context, req axserver.EvaluateRequest) (axserver.JobInfo, error) {
 	var info axserver.JobInfo
-	err := c.do(ctx, http.MethodPost, "/v1/evaluate", req, &info)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/evaluate", req, &info)
 	return info, err
 }
 
 // SubmitPipeline enqueues a full methodology run (POST /v1/pipelines).
+// Transient transport failures are retried with capped backoff.
 func (c *Client) SubmitPipeline(ctx context.Context, req axserver.PipelineRequest) (axserver.JobInfo, error) {
 	var info axserver.JobInfo
-	err := c.do(ctx, http.MethodPost, "/v1/pipelines", req, &info)
+	err := c.doRetry(ctx, http.MethodPost, "/v1/pipelines", req, &info)
 	return info, err
 }
 
@@ -196,10 +200,13 @@ type JobsService struct {
 	c *Client
 }
 
-// Get fetches one job's current snapshot (GET /v1/jobs/{id}).
+// Get fetches one job's current snapshot (GET /v1/jobs/{id}).  Transient
+// transport failures (connection refused/reset, 502/503/504) are retried
+// with capped backoff, so a Wait loop survives a brief server restart or
+// gateway blip instead of aborting a long-running job mid-poll.
 func (s *JobsService) Get(ctx context.Context, id string) (axserver.JobInfo, error) {
 	var info axserver.JobInfo
-	err := s.c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
+	err := s.c.doRetry(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &info)
 	return info, err
 }
 

@@ -1,0 +1,66 @@
+package axclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"autoax/internal/axserver"
+	"autoax/internal/fleet"
+)
+
+// SearchShard executes one deterministic slice of a distributed search
+// synchronously on the remote worker (POST /v1/search/shards).  The call
+// is NOT retried here: the fleet coordinator owns shard retry and
+// reissue policy, and a shard is expensive enough that blind transport
+// retries would double real work.
+func (c *Client) SearchShard(ctx context.Context, req axserver.SearchShardRequest) (axserver.SearchShardResponse, error) {
+	var resp axserver.SearchShardResponse
+	err := c.do(ctx, http.MethodPost, "/v1/search/shards", req, &resp)
+	return resp, err
+}
+
+// ShardCapability probes the worker's health endpoint and returns the
+// fleet shard protocol version it advertises.  Zero means the server
+// predates the shard endpoint; coordinators should check this before
+// dispatching.
+func (c *Client) ShardCapability(ctx context.Context) (int, error) {
+	var h axserver.HealthzResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+		return 0, err
+	}
+	return h.Shards, nil
+}
+
+// ShardWorker adapts a Client into a fleet.Worker, turning a remote
+// axserver into a fleet worker.  Context carries the shared model
+// context (accelerator, images, training budgets, model seed) sent with
+// every shard; its Version and Shard fields are overwritten per
+// dispatch.  The referenced library must already be in the worker's
+// content-addressed cache — warm it with SubmitLibrary first.
+type ShardWorker struct {
+	Client  *Client
+	Context axserver.SearchShardRequest
+}
+
+// Name identifies the worker to the coordinator by its base URL.
+func (w *ShardWorker) Name() string { return w.Client.BaseURL() }
+
+// RunShard executes one shard remotely.  A 404 from the worker (the
+// library is not in its cache) is surfaced as fleet.ErrUnknownLibrary so
+// the coordinator can fail fast instead of retrying a hopeless shard.
+func (w *ShardWorker) RunShard(ctx context.Context, spec fleet.ShardSpec) (*fleet.ShardResult, error) {
+	req := w.Context
+	req.Version = fleet.ProtocolVersion
+	req.Shard = spec
+	resp, err := w.Client.SearchShard(ctx, req)
+	if err != nil {
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.Status == http.StatusNotFound {
+			return nil, fmt.Errorf("%w: %s", fleet.ErrUnknownLibrary, apiErr.Message)
+		}
+		return nil, err
+	}
+	return &fleet.ShardResult{Points: resp.Points}, nil
+}

@@ -1,0 +1,71 @@
+package axclient
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"syscall"
+	"time"
+)
+
+// Transient-failure retry bounds: a handful of quick attempts with a
+// doubling, capped backoff.  This rides out worker restarts and load
+// balancer blips without masking real outages — after retryAttempts the
+// original error surfaces unchanged.
+const (
+	retryAttempts  = 4
+	retryBaseDelay = 100 * time.Millisecond
+	retryMaxDelay  = time.Second
+)
+
+// transientError reports whether an error is worth retrying: transport
+// failures where the server was never reached or the connection died
+// mid-flight (refused, reset, truncated body), and the gateway
+// unavailability statuses a restarting or shutting-down service returns
+// (502/503/504 — axserver itself answers 503 while draining).  Context
+// cancellation and every other 4xx/5xx are permanent from the client's
+// point of view and surface immediately.
+func transientError(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		switch apiErr.Status {
+		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+		return false
+	}
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// doRetry is do with capped-backoff retry of transient failures.  It is
+// used by the idempotent calls (job polling) and by job submissions —
+// submissions are safe to repeat because the service content-addresses
+// work: a duplicate submit coalesces onto the cached or in-flight job.
+func (c *Client) doRetry(ctx context.Context, method, path string, body, out any) error {
+	delay := retryBaseDelay
+	var err error
+	for attempt := 0; attempt < retryAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > retryMaxDelay {
+				delay = retryMaxDelay
+			}
+		}
+		err = c.do(ctx, method, path, body, out)
+		if err == nil || !transientError(err) {
+			return err
+		}
+	}
+	return err
+}

@@ -1,0 +1,136 @@
+package axclient_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autoax/axclient"
+	"autoax/internal/axserver"
+)
+
+// flakyHandler answers failures times with status fail, then delegates.
+type flakyHandler struct {
+	calls int64
+	fail  int
+	after http.HandlerFunc
+}
+
+func (h *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	n := atomic.AddInt64(&h.calls, 1)
+	if int(n) <= h.fail {
+		http.Error(w, `{"error":"worker restarting"}`, http.StatusServiceUnavailable)
+		return
+	}
+	h.after(w, r)
+}
+
+func jobJSON(t *testing.T, info axserver.JobInfo) http.HandlerFunc {
+	t.Helper()
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(info)
+	}
+}
+
+// TestRetryTransientGet: a poll that hits two 503s (a restarting worker)
+// recovers on the third attempt instead of surfacing the outage.
+func TestRetryTransientGet(t *testing.T) {
+	h := &flakyHandler{fail: 2, after: jobJSON(t, axserver.JobInfo{ID: "job-1", State: axserver.JobSucceeded})}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := axclient.New(ts.URL)
+	info, err := c.Jobs.Get(context.Background(), "job-1")
+	if err != nil {
+		t.Fatalf("Get through two 503s: %v", err)
+	}
+	if info.State != axserver.JobSucceeded {
+		t.Fatalf("state %s, want succeeded", info.State)
+	}
+	if got := atomic.LoadInt64(&h.calls); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two failures + success)", got)
+	}
+}
+
+// TestRetryTransientSubmit: submissions retry the same way — safe because
+// the service content-addresses work, so a repeated submit coalesces.
+func TestRetryTransientSubmit(t *testing.T) {
+	h := &flakyHandler{fail: 1, after: jobJSON(t, axserver.JobInfo{ID: "job-7", State: axserver.JobQueued})}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := axclient.New(ts.URL)
+	info, err := c.SubmitLibrary(context.Background(), axserver.LibraryRequest{})
+	if err != nil {
+		t.Fatalf("SubmitLibrary through a 503: %v", err)
+	}
+	if info.ID != "job-7" {
+		t.Fatalf("job ID %q, want job-7", info.ID)
+	}
+	if got := atomic.LoadInt64(&h.calls); got != 2 {
+		t.Errorf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestRetryPermanentErrors: client errors (4xx) are the caller's fault
+// and must surface on the first attempt, not burn retries.
+func TestRetryPermanentErrors(t *testing.T) {
+	var calls int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&calls, 1)
+		http.Error(w, `{"error":"no such job"}`, http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := axclient.New(ts.URL)
+	_, err := c.Jobs.Get(context.Background(), "job-404")
+	var apiErr *axclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("got %v, want *APIError 404", err)
+	}
+	if got := atomic.LoadInt64(&calls); got != 1 {
+		t.Errorf("server saw %d calls, want 1 (404 is not retryable)", got)
+	}
+}
+
+// TestRetryRespectsContext: cancellation cuts the backoff loop short
+// instead of sleeping through remaining attempts.
+func TestRetryRespectsContext(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c := axclient.New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Jobs.Get(ctx, "job-1")
+	if err == nil {
+		t.Fatal("Get against a permanently draining server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored the context deadline (%v elapsed)", elapsed)
+	}
+}
+
+// TestRetryConnectionRefused: a dead endpoint exhausts the retry budget
+// and surfaces the transport error rather than hanging.
+func TestRetryConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // nothing listens here any more
+
+	c := axclient.New(url)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Jobs.Get(ctx, "job-1"); err == nil {
+		t.Fatal("Get against a closed port succeeded")
+	}
+}

@@ -19,6 +19,9 @@
 //	submit                               submit a pipeline to a running
 //	                                     `autoax serve` through the client
 //	                                     SDK and wait for the result
+//	search                               run a distributed model-based
+//	                                     search over a fleet of `autoax
+//	                                     serve` workers (-fleet host1,host2)
 //	serve                                run the asynchronous HTTP job
 //	                                     service (see internal/axserver)
 //	version                              print the version
@@ -49,6 +52,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -62,6 +66,7 @@ import (
 	"autoax/internal/core"
 	"autoax/internal/dse"
 	"autoax/internal/expt"
+	"autoax/internal/fleet"
 	"autoax/internal/imagedata"
 	"autoax/internal/obs"
 )
@@ -93,8 +98,8 @@ func main() {
 	}
 	// -graph selects the accelerator for pipeline and submit only; anywhere
 	// else it would be silently ignored, so reject it loudly instead.
-	if cmd := flag.Arg(0); *graphPath != "" && cmd != "pipeline" && cmd != "submit" {
-		fatal(fmt.Errorf("-graph applies to the pipeline and submit commands, not %q", cmd))
+	if cmd := flag.Arg(0); *graphPath != "" && cmd != "pipeline" && cmd != "submit" && cmd != "search" {
+		fatal(fmt.Errorf("-graph applies to the pipeline, submit and search commands, not %q", cmd))
 	}
 	// -engine is validated up front against the registry so a typo fails
 	// before any expensive library build.
@@ -157,6 +162,8 @@ func main() {
 		}
 	case "submit":
 		err = runSubmit(s, *graphPath, flag.Args()[1:])
+	case "search":
+		err = runSearch(s, *graphPath, flag.Args()[1:])
 	case "export":
 		if flag.NArg() < 2 {
 			fatal(fmt.Errorf("export needs an operation instance (e.g. add8, mul8)"))
@@ -188,6 +195,7 @@ func runServe(args []string) error {
 	evalParallel := fs.Int("eval-parallel", 0, "default per-job precise-evaluation workers for requests that leave parallelism unset (0 = divide cores across the worker pool)")
 	cacheMemMB := fs.Int64("cache-mem-mb", 0, "in-memory artifact cache budget in MiB; LRU entries are evicted beyond it (0 = unbounded)")
 	cacheDiskMB := fs.Int64("cache-disk-mb", 0, "on-disk artifact cache budget in MiB; least-recently-used files are deleted beyond it (0 = unbounded; needs -cache-dir)")
+	cacheDiskTTL := fs.Duration("cache-disk-ttl", 0, "on-disk artifact expiry: cache files idle longer than this are deleted (0 = never; needs -cache-dir)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060; empty = disabled)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
@@ -205,6 +213,7 @@ func runServe(args []string) error {
 		EvalParallelism: *evalParallel,
 		MemCacheBytes:   *cacheMemMB << 20,
 		DiskCacheBytes:  *cacheDiskMB << 20,
+		DiskCacheTTL:    *cacheDiskTTL,
 		Logger:          logger,
 	})
 	if err != nil {
@@ -391,6 +400,40 @@ func runPipelineGraph(s expt.Setup, path string) error {
 	return nil
 }
 
+// materializeApp resolves the -graph/-app pair into the accelerator and
+// its wire addressing — a built-in name, or an inline wire-format graph.
+// Exactly one of the two must be given.
+func materializeApp(graphPath, appName string) (app *accel.ImageApp, name string, wire *accel.WireApp, err error) {
+	switch {
+	case graphPath != "" && appName != "":
+		return nil, "", nil, fmt.Errorf("takes -graph or -app, not both")
+	case graphPath != "":
+		app, err = loadGraphApp(graphPath)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		wire, err = app.Wire()
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return app, "", wire, nil
+	case appName != "":
+		switch appName {
+		case "sobel":
+			app = apps.Sobel()
+		case "fixedgf":
+			app = apps.FixedGF()
+		case "genericgf":
+			app = apps.GenericGF(apps.GenericGFKernels(2))
+		default:
+			return nil, "", nil, fmt.Errorf("got unknown app %q (want sobel, fixedgf or genericgf)", appName)
+		}
+		return app, appName, nil, nil
+	default:
+		return nil, "", nil, fmt.Errorf("needs -app NAME or the global -graph FILE")
+	}
+}
+
 // runSubmit drives a remote `autoax serve` through the client SDK: it
 // submits one pipeline job — for a named app or a -graph accelerator —
 // waits for the terminal state with backoff polling, and prints the front.
@@ -415,35 +458,11 @@ func runSubmit(s expt.Setup, graphPath string, args []string) error {
 	}
 	// The library request must cover the accelerator's operation mix, so
 	// the app is materialized locally either way to derive the specs.
-	var app *accel.ImageApp
-	switch {
-	case graphPath != "" && *appName != "":
-		return fmt.Errorf("submit takes -graph or -app, not both")
-	case graphPath != "":
-		a, err := loadGraphApp(graphPath)
-		if err != nil {
-			return err
-		}
-		wire, err := a.Wire()
-		if err != nil {
-			return err
-		}
-		app, req.Accelerator = a, wire
-	case *appName != "":
-		switch *appName {
-		case "sobel":
-			app = apps.Sobel()
-		case "fixedgf":
-			app = apps.FixedGF()
-		case "genericgf":
-			app = apps.GenericGF(apps.GenericGFKernels(2))
-		default:
-			return fmt.Errorf("unknown app %q (want sobel, fixedgf or genericgf)", *appName)
-		}
-		req.App = *appName
-	default:
-		return fmt.Errorf("submit needs -app NAME or the global -graph FILE")
+	app, name, wire, err := materializeApp(graphPath, *appName)
+	if err != nil {
+		return fmt.Errorf("submit %w", err)
 	}
+	req.App, req.Accelerator = name, wire
 	for _, op := range opCountsSorted(app) {
 		req.Library.Specs = append(req.Library.Specs, axserver.SpecRequest{Op: op.String(), Count: b.libCount})
 	}
@@ -486,6 +505,124 @@ func runSubmit(s expt.Setup, graphPath string, args []string) error {
 	fmt.Println("  SSIM     area(µm²)  energy(fJ)  configuration")
 	for _, f := range res.Front {
 		fmt.Printf("  %.5f  %9.1f  %10.1f  %v\n", f.SSIM, f.Area, f.Energy, f.Config)
+	}
+	return nil
+}
+
+// runSearch drives a distributed model-based search over a fleet of
+// `autoax serve` workers (the seed-wire protocol of internal/fleet): it
+// verifies each worker's shard capability, warms every content-addressed
+// library cache, partitions the evaluation budget into seed-derived
+// shards, and merges the shard archives into one pseudo Pareto front —
+// bit-identical to a single-process run over the same partition, however
+// the shards land on workers.
+func runSearch(s expt.Setup, graphPath string, args []string) error {
+	fs := flag.NewFlagSet("search", flag.ExitOnError)
+	fleetHosts := fs.String("fleet", "", "comma-separated base URLs of running `autoax serve` workers (required)")
+	appName := fs.String("app", "", "built-in app name (sobel, fixedgf, genericgf)")
+	shards := fs.Int("shards", 0, "number of shards to partition the budget into (0 = two per worker)")
+	timeout := fs.Duration("timeout", 30*time.Minute, "overall deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var hosts []string
+	for _, h := range strings.Split(*fleetHosts, ",") {
+		if h = strings.TrimSpace(h); h != "" {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		return fmt.Errorf("search needs -fleet host1,host2 (base URLs of running autoax serve workers)")
+	}
+	if *shards == 0 {
+		*shards = 2 * len(hosts)
+	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be positive, got %d", *shards)
+	}
+
+	app, name, wire, err := materializeApp(graphPath, *appName)
+	if err != nil {
+		return fmt.Errorf("search %w", err)
+	}
+	b := budgetsFor(s.Scale)
+	libReq := axserver.LibraryRequest{Seed: s.Seed}
+	for _, op := range opCountsSorted(app) {
+		libReq.Specs = append(libReq.Specs, axserver.SpecRequest{Op: op.String(), Count: b.libCount})
+	}
+	// The shared model context every shard carries: workers with the same
+	// context rebuild bit-identical estimators (see axserver.shardModels).
+	shared := axserver.SearchShardRequest{
+		App:          name,
+		Accelerator:  wire,
+		Images:       axserver.ImageSpec{Count: b.imgN, Width: b.imgW, Height: b.imgH, Seed: s.Seed + 1000},
+		TrainConfigs: b.train,
+		TestConfigs:  b.test,
+		Seed:         s.Seed,
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	// Ready every worker: capability check, then a library build that warms
+	// its content-addressed cache (a cache hit on workers that already hold
+	// it).  All workers must agree on the canonical hash.
+	workers := make([]fleet.Worker, 0, len(hosts))
+	var libHash string
+	for _, h := range hosts {
+		c := axclient.New(h)
+		v, err := c.ShardCapability(ctx)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", h, err)
+		}
+		if v != fleet.ProtocolVersion {
+			return fmt.Errorf("worker %s speaks shard protocol %d, this client needs %d", h, v, fleet.ProtocolVersion)
+		}
+		job, err := c.SubmitLibrary(ctx, libReq)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", h, err)
+		}
+		done, err := c.Jobs.Wait(ctx, job.ID)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", h, err)
+		}
+		res, err := axclient.LibraryResultOf(done)
+		if err != nil {
+			return fmt.Errorf("worker %s: %w", h, err)
+		}
+		if libHash == "" {
+			libHash = res.Key
+		} else if libHash != res.Key {
+			return fmt.Errorf("workers disagree on the canonical library hash: %s vs %s", libHash, res.Key)
+		}
+		fmt.Fprintf(os.Stderr, "worker %s ready (library %s)\n", h, res.Key)
+		workers = append(workers, &axclient.ShardWorker{Client: c, Context: shared})
+	}
+
+	specs, err := fleet.Partition(fleet.ShardSpec{
+		LibraryHash: libHash,
+		Engine:      s.SearchEngine,
+		Seed:        s.Seed,
+		Evaluations: b.evals,
+	}, *shards)
+	if err != nil {
+		return err
+	}
+
+	coord := &fleet.Coordinator{Workers: workers}
+	begin := time.Now()
+	arch, stats, err := coord.Search(ctx, specs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet of %d workers ran %d shards (%d evaluations) in %s: %d dispatched, %d retried, %d reissued\n",
+		len(workers), stats.Shards, b.evals, time.Since(begin).Round(time.Millisecond),
+		stats.Dispatched, stats.Retried, stats.Reissued)
+	pts, cfgs := arch.Points(), arch.Payloads()
+	fmt.Printf("merged pseudo Pareto front: %d configurations\n", arch.Len())
+	fmt.Println("  QoR(est)  HW(est)     configuration")
+	for i := range pts {
+		fmt.Printf("  %.5f  %10.1f  %v\n", -pts[i][0], pts[i][1], cfgs[i])
 	}
 	return nil
 }
@@ -559,11 +696,17 @@ commands:
                                         "autoax serve" via the client SDK
                                         and wait (combine with -graph FILE
                                         for custom accelerators)
+  search -fleet host1,host2 [-app NAME] [-shards N] [-timeout D]
+                                        distribute one model-based search
+                                        across a fleet of "autoax serve"
+                                        workers and print the merged front
+                                        (combine with -graph FILE for
+                                        custom accelerators)
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
   serve [-addr :8080] [-workers N] [-cache-dir DIR] [-cache-mem-mb N]
-        [-cache-disk-mb N] [-eval-parallel N] [-pprof ADDR]
-        [-log-level L] [-log-format text|json]
+        [-cache-disk-mb N] [-cache-disk-ttl D] [-eval-parallel N]
+        [-pprof ADDR] [-log-level L] [-log-format text|json]
                                         run the asynchronous HTTP job service
   version                               print the version
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Cache is a content-addressed artifact store: values are keyed by a
@@ -25,9 +26,10 @@ import (
 // computations are coalesced (GetOrCompute), so N workers racing on the
 // same key run the build once.  Safe for concurrent use.
 type Cache struct {
-	dir          string // "" = memory-only
-	maxBytes     int64  // ≤ 0 = unbounded memory tier
-	maxDiskBytes int64  // ≤ 0 = unbounded disk tier
+	dir          string        // "" = memory-only
+	maxBytes     int64         // ≤ 0 = unbounded memory tier
+	maxDiskBytes int64         // ≤ 0 = unbounded disk tier
+	diskTTL      time.Duration // ≤ 0 = no expiry
 
 	mu       sync.Mutex
 	mem      map[string]*memEntry
@@ -53,6 +55,7 @@ type Cache struct {
 	coalesced     atomic.Int64
 	evictions     atomic.Int64
 	diskEvictions atomic.Int64
+	diskExpired   atomic.Int64
 }
 
 // memEntry is one memory-tier entry with its LRU position.
@@ -61,10 +64,12 @@ type memEntry struct {
 	elem *list.Element
 }
 
-// diskEntry is one disk-tier entry with its LRU position.
+// diskEntry is one disk-tier entry with its LRU position and last-use
+// time (UnixNano) for TTL expiry.
 type diskEntry struct {
-	size int64
-	elem *list.Element
+	size    int64
+	lastUse int64
+	elem    *list.Element
 }
 
 // flight is one in-progress computation; done is closed once b/err are
@@ -102,6 +107,19 @@ func NewCacheSized(dir string, memBudget int64) (*Cache, error) {
 // diskBudget ≤ 0 means unbounded (the tier is still inventoried so stats
 // report its footprint).
 func NewCacheTiered(dir string, memBudget, diskBudget int64) (*Cache, error) {
+	return NewCacheTieredTTL(dir, memBudget, diskBudget, 0)
+}
+
+// NewCacheTieredTTL is NewCacheTiered with a wall-clock bound on the disk
+// tier: files whose last use is older than diskTTL are deleted, whatever
+// the byte budget says — the knob fleets use to stop a worker's artifact
+// store growing without bound under a churning key population.  Expiry
+// runs on every disk-tier touch, on the startup inventory, and when
+// stats are read.  Last use is tracked in memory and approximated by the
+// file's modification time across restarts (reads do not rewrite
+// mtimes), so a restart ages read-only entries back to their write time.
+// diskTTL ≤ 0 disables expiry.
+func NewCacheTieredTTL(dir string, memBudget, diskBudget int64, diskTTL time.Duration) (*Cache, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, fmt.Errorf("axserver: cache dir: %w", err)
@@ -111,6 +129,7 @@ func NewCacheTiered(dir string, memBudget, diskBudget int64) (*Cache, error) {
 		dir:          dir,
 		maxBytes:     memBudget,
 		maxDiskBytes: diskBudget,
+		diskTTL:      diskTTL,
 		mem:          make(map[string]*memEntry),
 		lru:          list.New(),
 		disk:         make(map[string]*diskEntry),
@@ -158,21 +177,36 @@ func (c *Cache) scanDisk() error {
 	c.dmu.Lock()
 	defer c.dmu.Unlock()
 	for _, f := range files {
-		c.diskTouchLocked(f.name, f.size)
+		// Seed last use from the modification time so a restarted server
+		// expires genuinely old artifacts instead of granting everything a
+		// fresh TTL lease.
+		c.diskRecordLocked(f.name, f.size, f.mod)
 	}
+	c.sweepExpiredLocked(time.Now())
 	return nil
 }
 
 // diskTouchLocked records name as the disk tier's most recently used
 // entry (inserting it if new), then evicts least-recently-used files
-// until the byte budget holds.  Caller must hold c.dmu.
+// until the byte budget holds and sweeps TTL-expired entries.  Caller
+// must hold c.dmu.
 func (c *Cache) diskTouchLocked(name string, size int64) {
+	now := time.Now()
+	c.diskRecordLocked(name, size, now.UnixNano())
+	c.sweepExpiredLocked(now)
+}
+
+// diskRecordLocked is diskTouchLocked with an explicit last-use stamp
+// (the startup scan supplies file modification times) and without the
+// TTL sweep.  Caller must hold c.dmu.
+func (c *Cache) diskRecordLocked(name string, size, lastUse int64) {
 	if e, ok := c.disk[name]; ok {
 		c.diskBytes += size - e.size
 		e.size = size
+		e.lastUse = lastUse
 		c.diskLRU.MoveToFront(e.elem)
 	} else {
-		e := &diskEntry{size: size}
+		e := &diskEntry{size: size, lastUse: lastUse}
 		e.elem = c.diskLRU.PushFront(name)
 		c.disk[name] = e
 		c.diskBytes += size
@@ -189,6 +223,30 @@ func (c *Cache) diskTouchLocked(name string, size int64) {
 		c.diskBytes -= e.size
 		os.Remove(filepath.Join(c.dir, n))
 		c.diskEvictions.Add(1)
+	}
+}
+
+// sweepExpiredLocked deletes disk-tier entries idle longer than the TTL,
+// walking from the LRU tail: touch order and last-use order coincide, so
+// the walk stops at the first fresh entry.  Unlike budget eviction the
+// sweep may empty the tier — an artifact past its TTL is gone even if it
+// is the only one.  Caller must hold c.dmu.
+func (c *Cache) sweepExpiredLocked(now time.Time) {
+	if c.diskTTL <= 0 {
+		return
+	}
+	cutoff := now.Add(-c.diskTTL).UnixNano()
+	for back := c.diskLRU.Back(); back != nil; back = c.diskLRU.Back() {
+		n := back.Value.(string)
+		e := c.disk[n]
+		if e.lastUse > cutoff {
+			return
+		}
+		c.diskLRU.Remove(back)
+		delete(c.disk, n)
+		c.diskBytes -= e.size
+		os.Remove(filepath.Join(c.dir, n))
+		c.diskExpired.Add(1)
 	}
 }
 
@@ -451,6 +509,7 @@ func (c *Cache) Stats() CacheStats {
 	bytes := c.memBytes
 	c.mu.Unlock()
 	c.dmu.Lock()
+	c.sweepExpiredLocked(time.Now())
 	dn := len(c.disk)
 	dbytes := c.diskBytes
 	c.dmu.Unlock()
@@ -465,6 +524,7 @@ func (c *Cache) Stats() CacheStats {
 		Entries:       n,
 		MemBytes:      bytes,
 		DiskEvictions: c.diskEvictions.Load(),
+		DiskExpired:   c.diskExpired.Load(),
 		DiskEntries:   dn,
 		DiskBytes:     dbytes,
 	}

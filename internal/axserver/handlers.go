@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+
+	"autoax/internal/fleet"
 )
 
 // maxBodyBytes bounds request bodies; library specs and configuration
@@ -23,6 +25,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/libraries/{key}", s.handleGetLibrary)
 	route("POST /v1/evaluate", s.handleSubmitEvaluate)
 	route("POST /v1/pipelines", s.handleSubmitPipeline)
+	route("POST /v1/search/shards", s.handleSearchShard)
 	route("GET /v1/jobs", s.handleListJobs)
 	route("GET /v1/jobs/{id}", s.handleGetJob)
 	route("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -153,6 +156,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
 
+// handleHealthz reports liveness and advertises the fleet shard protocol
+// version, so coordinators can verify worker capability before
+// dispatching a distributed search.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Shards: fleet.ProtocolVersion})
 }

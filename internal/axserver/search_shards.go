@@ -1,0 +1,331 @@
+package axserver
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"autoax/internal/accel"
+	"autoax/internal/acl"
+	"autoax/internal/core"
+	"autoax/internal/dse"
+	"autoax/internal/fleet"
+	"autoax/internal/ml"
+)
+
+// Shard-endpoint error codes (errorBody.Code): the typed 4xx contract a
+// fleet coordinator programs against.
+const (
+	codeBadVersion     = "bad_version"
+	codeUnknownEngine  = "unknown_engine"
+	codeInvalidBudget  = "invalid_budget"
+	codeUnknownLibrary = "unknown_library"
+	codeBadRequest     = "bad_request"
+)
+
+// SearchShardRequest is the wire form of POST /v1/search/shards — one
+// deterministic slice of a distributed search, executed synchronously.
+// Only seeds and hashes travel: the library is NOT carried, the worker
+// resolves Shard.LibraryHash against its own content-addressed cache
+// (404 unknown_library when absent — build it first via POST
+// /v1/libraries).  The remaining fields are the model context, everything
+// needed to deterministically rebuild the trained estimators the shard
+// searches over; workers given the same context build bit-identical
+// models, so any worker executing a given shard returns the identical
+// archive.
+type SearchShardRequest struct {
+	// Version is the fleet shard protocol version the client speaks;
+	// must equal fleet.ProtocolVersion.
+	Version int `json:"version"`
+
+	// Accelerator addressing, as in PipelineRequest: a named case study
+	// (App, optionally Kernels) or an inline wire-format graph.
+	App         string         `json:"app,omitempty"`
+	Kernels     int            `json:"kernels,omitempty"`
+	Accelerator *accel.WireApp `json:"accelerator,omitempty"`
+	Images      ImageSpec      `json:"images"`
+
+	// Model-training budgets and engine (zero = core defaults); Seed is
+	// the model-construction seed (0 = default).
+	TrainConfigs int    `json:"trainConfigs,omitempty"`
+	TestConfigs  int    `json:"testConfigs,omitempty"`
+	Engine       string `json:"engine,omitempty"` // ml engine; empty = default
+	Seed         int64  `json:"seed,omitempty"`
+
+	// Shard is the slice of search to run: library hash, search engine,
+	// derived seed, and budget.
+	Shard fleet.ShardSpec `json:"shard"`
+}
+
+// SearchShardResponse echoes the shard identity and returns only the
+// archive survivors, in staircase order.
+type SearchShardResponse struct {
+	Version     int                `json:"version"`
+	LibraryHash string             `json:"libraryHash"`
+	Engine      string             `json:"engine"`
+	Seed        int64              `json:"seed"`
+	Evaluations int                `json:"evaluations"`
+	Points      []fleet.ShardPoint `json:"points"`
+}
+
+// shardError pairs an HTTP status with a machine-readable code.
+type shardError struct {
+	status int
+	code   string
+	err    error
+}
+
+func (e *shardError) Error() string { return e.err.Error() }
+
+func shardErr(status int, code string, format string, args ...any) *shardError {
+	return &shardError{status: status, code: code, err: fmt.Errorf(format, args...)}
+}
+
+// normalizedModel applies the pipeline's model-context defaulting so
+// equivalent spellings share one memoized model build.
+func (r SearchShardRequest) normalizedModel() SearchShardRequest {
+	r.Kernels = normalizeKernels(r.App, r.Kernels)
+	r.Images = r.Images.normalized()
+	d := core.DefaultConfig()
+	if r.TrainConfigs <= 0 {
+		r.TrainConfigs = d.TrainConfigs
+	}
+	if r.TestConfigs <= 0 {
+		r.TestConfigs = d.TestConfigs
+	}
+	if r.Engine == "" {
+		r.Engine = d.Engine.Name
+	}
+	if r.Seed == 0 {
+		r.Seed = d.Seed
+	}
+	return r
+}
+
+// modelKey content-addresses the model context: the library hash, the
+// accelerator's canonical hash, and the normalized training fields.  The
+// shard spec and protocol version are excluded — every shard over the
+// same context shares one model build.
+func (r SearchShardRequest) modelKey(appHash string) (string, error) {
+	canon := r.normalizedModel()
+	canon.App, canon.Kernels, canon.Accelerator = "", 0, nil
+	canon.Version = 0
+	canon.Shard = fleet.ShardSpec{}
+	return requestKey(r.Shard.LibraryHash, appHash, canon)
+}
+
+// handleSearchShard is POST /v1/search/shards: validate with typed codes,
+// bound concurrency to the worker pool size, and run synchronously under
+// the request context so a dropped coordinator connection cancels the
+// shard.
+func (s *Server) handleSearchShard(w http.ResponseWriter, r *http.Request) {
+	var req SearchShardRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, serr := s.runSearchShard(r.Context(), req)
+	if serr != nil {
+		writeJSON(w, serr.status, errorBody{Error: serr.err.Error(), Code: serr.code})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// runSearchShard validates and executes one shard.
+func (s *Server) runSearchShard(ctx context.Context, req SearchShardRequest) (SearchShardResponse, *shardError) {
+	var zero SearchShardResponse
+	if req.Version != fleet.ProtocolVersion {
+		return zero, shardErr(http.StatusBadRequest, codeBadVersion,
+			"unsupported shard protocol version %d (this server speaks %d)",
+			req.Version, fleet.ProtocolVersion)
+	}
+	shard := req.Shard
+	if _, err := dse.SearchEngineByName(shard.Engine); err != nil {
+		return zero, &shardError{http.StatusBadRequest, codeUnknownEngine, err}
+	}
+	if shard.Evaluations <= 0 {
+		return zero, shardErr(http.StatusBadRequest, codeInvalidBudget,
+			"shard evaluations must be positive, got %d", shard.Evaluations)
+	}
+	if shard.Population < 0 || shard.Stagnation < 0 {
+		return zero, shardErr(http.StatusBadRequest, codeInvalidBudget,
+			"shard population/stagnation must be non-negative, got %d/%d",
+			shard.Population, shard.Stagnation)
+	}
+	if shard.LibraryHash == "" {
+		return zero, shardErr(http.StatusBadRequest, codeUnknownLibrary,
+			"shard spec has no library hash")
+	}
+	libBytes, ok := s.LibraryBytes(shard.LibraryHash)
+	if !ok {
+		return zero, shardErr(http.StatusNotFound, codeUnknownLibrary,
+			"no library %s in this worker's cache; build it first (POST /v1/libraries)",
+			shard.LibraryHash)
+	}
+	if err := validateKernels(req.Kernels); err != nil {
+		return zero, &shardError{http.StatusBadRequest, codeBadRequest, err}
+	}
+	app, err := resolveAppRef(req.App, req.Kernels, req.Accelerator)
+	if err != nil {
+		return zero, &shardError{http.StatusBadRequest, codeBadRequest, err}
+	}
+	if err := validateImages(req.Images.normalized()); err != nil {
+		return zero, &shardError{http.StatusBadRequest, codeBadRequest, err}
+	}
+	if req.Engine != "" {
+		if _, err := ml.EngineByName(req.Engine); err != nil {
+			return zero, &shardError{http.StatusBadRequest, codeBadRequest, err}
+		}
+	}
+
+	// Bound concurrent shard executions to the worker-pool size; shards
+	// bypass the async job queue (they are synchronous by design) but
+	// must not oversubscribe the machine.
+	select {
+	case s.shardSem <- struct{}{}:
+		defer func() { <-s.shardSem }()
+	case <-ctx.Done():
+		return zero, &shardError{http.StatusServiceUnavailable, codeBadRequest, ctx.Err()}
+	}
+
+	m, err := s.shardModels(ctx, req, app, libBytes)
+	if err != nil {
+		if ctx.Err() != nil {
+			return zero, &shardError{http.StatusServiceUnavailable, codeBadRequest, ctx.Err()}
+		}
+		return zero, &shardError{http.StatusInternalServerError, "",
+			fmt.Errorf("building shard models: %w", err)}
+	}
+	engine := shard.Engine
+	if engine == "" {
+		engine = dse.DefaultEngineName
+	}
+	arch, err := dse.RunEngine(ctx, engine, m, dse.SearchOptions{
+		Evaluations: shard.Evaluations,
+		Stagnation:  shard.Stagnation,
+		Population:  shard.Population,
+		Parallelism: s.evalParallelism(0),
+		Seed:        shard.Seed,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return zero, &shardError{http.StatusServiceUnavailable, codeBadRequest, ctx.Err()}
+		}
+		return zero, &shardError{http.StatusInternalServerError, "",
+			fmt.Errorf("running shard: %w", err)}
+	}
+	return SearchShardResponse{
+		Version:     fleet.ProtocolVersion,
+		LibraryHash: shard.LibraryHash,
+		Engine:      engine,
+		Seed:        shard.Seed,
+		Evaluations: shard.Evaluations,
+		Points:      fleet.ResultFromArchive(arch).Points,
+	}, nil
+}
+
+// modelCacheEntries bounds the in-process trained-model memo.  Models are
+// large (forests + reduced spaces) and a fleet worker typically serves
+// one or two model contexts at a time, so the cap is small.
+const modelCacheEntries = 4
+
+// modelEntry is one memoized (possibly in-flight) model build.
+type modelEntry struct {
+	ready chan struct{} // closed when m/err are set
+	m     *dse.Models
+	err   error
+}
+
+// shardModels returns the trained models for a shard request's model
+// context, memoized and singleflighted: concurrent shards over the same
+// context share one build, later shards reuse it.  Failed builds are
+// evicted so a retry recomputes instead of replaying the error forever.
+func (s *Server) shardModels(ctx context.Context, req SearchShardRequest, app *accel.ImageApp, libBytes []byte) (*dse.Models, error) {
+	key, err := req.modelKey(app.CanonicalHash())
+	if err != nil {
+		return nil, err
+	}
+	s.modelMu.Lock()
+	if e, ok := s.models[key]; ok {
+		s.touchModelLocked(key)
+		s.modelMu.Unlock()
+		select {
+		case <-e.ready:
+			return e.m, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e := &modelEntry{ready: make(chan struct{})}
+	s.models[key] = e
+	s.modelOrder = append(s.modelOrder, key)
+	for len(s.modelOrder) > modelCacheEntries {
+		delete(s.models, s.modelOrder[0])
+		s.modelOrder = s.modelOrder[1:]
+	}
+	s.modelMu.Unlock()
+
+	e.m, e.err = s.buildShardModels(ctx, req, app, libBytes)
+	close(e.ready)
+	if e.err != nil {
+		s.modelMu.Lock()
+		if s.models[key] == e {
+			delete(s.models, key)
+			for i, k := range s.modelOrder {
+				if k == key {
+					s.modelOrder = append(s.modelOrder[:i], s.modelOrder[i+1:]...)
+					break
+				}
+			}
+		}
+		s.modelMu.Unlock()
+	}
+	return e.m, e.err
+}
+
+// touchModelLocked moves key to the most-recently-used end.
+func (s *Server) touchModelLocked(key string) {
+	for i, k := range s.modelOrder {
+		if k == key {
+			s.modelOrder = append(append(s.modelOrder[:i], s.modelOrder[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// buildShardModels deterministically rebuilds the trained estimators for
+// a shard's model context by running the pipeline's model stages (reduce,
+// samples, train) over the cached library.  Determinism note: sample
+// evaluation is order-stable at any parallelism and engine fits are
+// seeded, so two workers with the same context build models with
+// identical predictions — the property the fleet's bit-identity contract
+// rests on.
+func (s *Server) buildShardModels(ctx context.Context, req SearchShardRequest, app *accel.ImageApp, libBytes []byte) (*dse.Models, error) {
+	req = req.normalizedModel()
+	lib, err := acl.LoadBytes(libBytes)
+	if err != nil {
+		return nil, fmt.Errorf("loading library %s: %w", req.Shard.LibraryHash, err)
+	}
+	images, err := buildImages(req.Images)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := ml.EngineByName(req.Engine)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := core.NewPipeline(app, lib, images, core.Config{
+		TrainConfigs: req.TrainConfigs,
+		TestConfigs:  req.TestConfigs,
+		Parallelism:  s.evalParallelism(0),
+		Seed:         req.Seed,
+		Engine:       spec,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := pipe.TrainContext(ctx); err != nil {
+		return nil, err
+	}
+	return pipe.Models, nil
+}

@@ -1,0 +1,189 @@
+package axserver
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"autoax/internal/fleet"
+)
+
+// buildLibrary runs a library build to completion on a server and returns
+// its canonical key — the fleet's LibraryHash.
+func buildLibrary(t *testing.T, base string, req LibraryRequest) string {
+	t.Helper()
+	var job JobInfo
+	if code := postJSON(t, base+"/v1/libraries", req, &job); code != http.StatusAccepted {
+		t.Fatalf("submit library: status %d", code)
+	}
+	info := waitJob(t, base, job.ID)
+	if info.State != JobSucceeded {
+		t.Fatalf("library build: %s (%s)", info.State, info.Error)
+	}
+	var res LibraryResult
+	if err := json.Unmarshal(info.Result, &res); err != nil {
+		t.Fatalf("decode library result: %v", err)
+	}
+	return res.Key
+}
+
+// tinyShardReq is the shard-request analogue of tinyPipeline: the same
+// model context, with the shard filled in by the caller.
+func tinyShardReq(libHash string) SearchShardRequest {
+	return SearchShardRequest{
+		Version:      fleet.ProtocolVersion,
+		App:          "sobel",
+		Images:       ImageSpec{Count: 2, Width: 32, Height: 24, Seed: 5},
+		TrainConfigs: 24,
+		TestConfigs:  12,
+		Seed:         4,
+		Shard: fleet.ShardSpec{
+			LibraryHash: libHash,
+			Engine:      "hillclimb",
+			Seed:        12345,
+			Evaluations: 500,
+		},
+	}
+}
+
+// postShard posts a shard request and decodes either the response or the
+// typed error envelope.
+func postShard(t *testing.T, base string, req SearchShardRequest) (int, SearchShardResponse, errorBody) {
+	t.Helper()
+	var raw json.RawMessage
+	code := postJSON(t, base+"/v1/search/shards", req, &raw)
+	var resp SearchShardResponse
+	var eb errorBody
+	if code == http.StatusOK {
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			t.Fatalf("decode shard response: %v", err)
+		}
+	} else if err := json.Unmarshal(raw, &eb); err != nil {
+		t.Fatalf("decode shard error: %v", err)
+	}
+	return code, resp, eb
+}
+
+// TestSearchShardValidation pins the typed 4xx contract of the shard
+// endpoint: unknown engine, zero/negative budget, and unknown library
+// hash each map to a distinct machine-readable code (alongside the
+// engine-validation cases of search_engine_test.go).
+func TestSearchShardValidation(t *testing.T) {
+	_, ts := testServer(t, Options{Workers: 1})
+	libHash := buildLibrary(t, ts.URL, tinyLibrary(1))
+
+	cases := []struct {
+		name   string
+		mutate func(*SearchShardRequest)
+		status int
+		code   string
+	}{
+		{"unknown engine", func(r *SearchShardRequest) { r.Shard.Engine = "simulated-annealing" },
+			http.StatusBadRequest, codeUnknownEngine},
+		{"zero budget", func(r *SearchShardRequest) { r.Shard.Evaluations = 0 },
+			http.StatusBadRequest, codeInvalidBudget},
+		{"negative budget", func(r *SearchShardRequest) { r.Shard.Evaluations = -100 },
+			http.StatusBadRequest, codeInvalidBudget},
+		{"negative population", func(r *SearchShardRequest) { r.Shard.Population = -1 },
+			http.StatusBadRequest, codeInvalidBudget},
+		{"unknown library", func(r *SearchShardRequest) { r.Shard.LibraryHash = "deadbeef" },
+			http.StatusNotFound, codeUnknownLibrary},
+		{"missing library", func(r *SearchShardRequest) { r.Shard.LibraryHash = "" },
+			http.StatusBadRequest, codeUnknownLibrary},
+		{"bad version", func(r *SearchShardRequest) { r.Version = 99 },
+			http.StatusBadRequest, codeBadVersion},
+		{"zero version", func(r *SearchShardRequest) { r.Version = 0 },
+			http.StatusBadRequest, codeBadVersion},
+		{"unknown app", func(r *SearchShardRequest) { r.App = "warp-drive" },
+			http.StatusBadRequest, codeBadRequest},
+		{"bad images", func(r *SearchShardRequest) { r.Images.Count = -1 },
+			http.StatusBadRequest, codeBadRequest},
+	}
+	for _, tc := range cases {
+		req := tinyShardReq(libHash)
+		tc.mutate(&req)
+		code, _, eb := postShard(t, ts.URL, req)
+		if code != tc.status {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.status)
+		}
+		if eb.Code != tc.code {
+			t.Errorf("%s: error code %q, want %q (error: %s)", tc.name, eb.Code, tc.code, eb.Error)
+		}
+	}
+}
+
+// TestSearchShardCrossWorkerIdentity is the wire half of the fleet
+// determinism contract: two independent servers that each built the same
+// library return bit-identical points for the same shard spec, and the
+// response echoes the shard identity.
+func TestSearchShardCrossWorkerIdentity(t *testing.T) {
+	_, tsA := testServer(t, Options{Workers: 2})
+	_, tsB := testServer(t, Options{Workers: 2})
+	hashA := buildLibrary(t, tsA.URL, tinyLibrary(1))
+	hashB := buildLibrary(t, tsB.URL, tinyLibrary(1))
+	if hashA != hashB {
+		t.Fatalf("servers disagree on the canonical library hash: %s vs %s", hashA, hashB)
+	}
+
+	req := tinyShardReq(hashA)
+	codeA, respA, _ := postShard(t, tsA.URL, req)
+	codeB, respB, _ := postShard(t, tsB.URL, req)
+	if codeA != http.StatusOK || codeB != http.StatusOK {
+		t.Fatalf("shard runs: status %d / %d", codeA, codeB)
+	}
+	if respA.Version != fleet.ProtocolVersion || respA.Engine != "hillclimb" ||
+		respA.Seed != req.Shard.Seed || respA.Evaluations != req.Shard.Evaluations ||
+		respA.LibraryHash != hashA {
+		t.Errorf("response does not echo the shard identity: %+v", respA)
+	}
+	if len(respA.Points) == 0 {
+		t.Fatal("shard returned no archive survivors")
+	}
+	mustSamePoints(t, respA.Points, respB.Points, "cross-server")
+
+	// Re-running the identical shard on the same server (memoized models)
+	// must also be bit-identical.
+	_, respA2, _ := postShard(t, tsA.URL, req)
+	mustSamePoints(t, respA.Points, respA2.Points, "rerun")
+
+	// A different shard seed is a different stream.
+	reseeded := req
+	reseeded.Shard.Seed = 999
+	code, respC, _ := postShard(t, tsA.URL, reseeded)
+	if code != http.StatusOK {
+		t.Fatalf("reseeded shard: status %d", code)
+	}
+	if samePoints(respA.Points, respC.Points) {
+		t.Error("different shard seeds returned identical archives")
+	}
+}
+
+func samePoints(a, b []fleet.ShardPoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Point) != len(b[i].Point) || len(a[i].Config) != len(b[i].Config) {
+			return false
+		}
+		for d := range a[i].Point {
+			if math.Float64bits(a[i].Point[d]) != math.Float64bits(b[i].Point[d]) {
+				return false
+			}
+		}
+		for d := range a[i].Config {
+			if a[i].Config[d] != b[i].Config[d] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func mustSamePoints(t *testing.T, a, b []fleet.ShardPoint, label string) {
+	t.Helper()
+	if !samePoints(a, b) {
+		t.Fatalf("%s: shard archives are not bit-identical (%d vs %d points)", label, len(a), len(b))
+	}
+}

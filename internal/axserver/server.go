@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"autoax/internal/apps"
 	"autoax/internal/core"
 	"autoax/internal/dse"
+	"autoax/internal/fleet"
 	"autoax/internal/imagedata"
 	"autoax/internal/ml"
 )
@@ -69,6 +71,11 @@ type Options struct {
 	// deleted.  0 keeps the disk tier unbounded; ignored without a
 	// CacheDir.
 	DiskCacheBytes int64
+	// DiskCacheTTL bounds the disk tier by wall clock: cache files idle
+	// longer than this are deleted regardless of the byte budget, so a
+	// long-lived fleet worker's artifact store cannot accumulate stale
+	// libraries forever.  0 disables expiry; ignored without a CacheDir.
+	DiskCacheTTL time.Duration
 	// Logger receives structured lifecycle events (job.accept, job.start,
 	// job.done, job.cancel, cache.selfheal).  nil discards them.
 	Logger *slog.Logger
@@ -87,6 +94,14 @@ type Server struct {
 	base       context.Context
 	cancelBase context.CancelFunc
 	started    time.Time
+
+	// Fleet shard execution (POST /v1/search/shards): shardSem bounds
+	// concurrent synchronous shard runs to the worker-pool size, and
+	// models memoizes trained model contexts (see shardModels).
+	shardSem   chan struct{}
+	modelMu    sync.Mutex
+	models     map[string]*modelEntry
+	modelOrder []string // LRU order, most recent last
 }
 
 // New validates the options and starts the worker pool.
@@ -103,7 +118,10 @@ func New(opts Options) (*Server, error) {
 	if opts.DiskCacheBytes < 0 {
 		return nil, fmt.Errorf("axserver: disk cache budget must be non-negative, got %d", opts.DiskCacheBytes)
 	}
-	cache, err := NewCacheTiered(opts.CacheDir, opts.MemCacheBytes, opts.DiskCacheBytes)
+	if opts.DiskCacheTTL < 0 {
+		return nil, fmt.Errorf("axserver: disk cache TTL must be non-negative, got %v", opts.DiskCacheTTL)
+	}
+	cache, err := NewCacheTieredTTL(opts.CacheDir, opts.MemCacheBytes, opts.DiskCacheBytes, opts.DiskCacheTTL)
 	if err != nil {
 		return nil, err
 	}
@@ -132,6 +150,8 @@ func New(opts Options) (*Server, error) {
 		base:       base,
 		cancelBase: cancel,
 		started:    time.Now(),
+		shardSem:   make(chan struct{}, opts.Workers),
+		models:     make(map[string]*modelEntry),
 	}
 	return s, nil
 }
@@ -148,11 +168,12 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 // Stats returns a service-health snapshot.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Workers:   s.pool.Workers(),
-		QueueLen:  s.pool.QueueLen(),
-		Jobs:      s.manager.Counts(),
-		Cache:     s.cache.Stats(),
-		UptimeSec: time.Since(s.started).Seconds(),
+		Workers:       s.pool.Workers(),
+		QueueLen:      s.pool.QueueLen(),
+		Jobs:          s.manager.Counts(),
+		Cache:         s.cache.Stats(),
+		UptimeSec:     time.Since(s.started).Seconds(),
+		ShardProtocol: fleet.ProtocolVersion,
 	}
 }
 

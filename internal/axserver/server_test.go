@@ -14,6 +14,7 @@ import (
 	"autoax/internal/accel"
 	"autoax/internal/acl"
 	"autoax/internal/apps"
+	"autoax/internal/fleet"
 	"autoax/internal/pmf"
 )
 
@@ -528,9 +529,12 @@ func TestRequestValidation(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/v1/libraries/deadbeef", &e); code != http.StatusNotFound {
 		t.Errorf("unknown library key: status %d, want 404", code)
 	}
-	var health map[string]string
-	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK || health["status"] != "ok" {
-		t.Errorf("healthz: status %d body %v", code, health)
+	var health HealthzResponse
+	if code := getJSON(t, ts.URL+"/v1/healthz", &health); code != http.StatusOK || health.Status != "ok" {
+		t.Errorf("healthz: status %d body %+v", code, health)
+	}
+	if health.Shards != fleet.ProtocolVersion {
+		t.Errorf("healthz advertises shard protocol %d, want %d", health.Shards, fleet.ProtocolVersion)
 	}
 }
 

@@ -301,6 +301,9 @@ type CacheStats struct {
 	// DiskEvictions counts disk-tier entries removed to stay inside the
 	// configured disk byte budget (0 when the disk tier is unbounded).
 	DiskEvictions int64 `json:"diskEvictions"`
+	// DiskExpired counts disk-tier entries removed because they sat idle
+	// longer than the configured TTL (0 when no TTL is set).
+	DiskExpired int64 `json:"diskExpired"`
 	// DiskEntries / DiskBytes describe the disk tier's current contents
 	// (tracked only when a CacheDir is configured).
 	DiskEntries int   `json:"diskEntries"`
@@ -314,9 +317,25 @@ type Stats struct {
 	Jobs      map[JobState]int `json:"jobs"`
 	Cache     CacheStats       `json:"cache"`
 	UptimeSec float64          `json:"uptimeSec"`
+	// ShardProtocol is the fleet shard protocol version this server
+	// speaks on POST /v1/search/shards.
+	ShardProtocol int `json:"shardProtocol"`
+}
+
+// HealthzResponse is the payload of GET /v1/healthz.  Shards advertises
+// the fleet shard protocol version this server speaks (0 would mean no
+// shard support), so coordinators can check worker capability before
+// dispatching a distributed search.
+type HealthzResponse struct {
+	Status string `json:"status"`
+	Shards int    `json:"shards"`
 }
 
 // errorBody is the JSON error envelope every non-2xx response carries.
 type errorBody struct {
 	Error string `json:"error"`
+	// Code is a machine-readable error class, set by endpoints with a
+	// typed error contract (the shard endpoint's bad_version /
+	// unknown_engine / invalid_budget / unknown_library / bad_request).
+	Code string `json:"code,omitempty"`
 }

@@ -91,13 +91,17 @@ func RunEngine(ctx context.Context, name string, m *Models, opt SearchOptions) (
 	return e.Run(ctx, m, opt)
 }
 
-// deriveSeed maps (engine, stream label, seed) to an independent rng seed:
+// DeriveSeed maps (engine, stream label, seed) to an independent rng seed:
 // an FNV-1a hash of the labels mixed with the seed through the splitmix64
 // finalizer.  This is the anyes seed-wire idiom — engines ship (name,
 // seed) over the wire and every consumer regenerates bit-identical
 // streams — and it keeps an engine's distinct random streams (e.g. nsga2
 // init vs evolve) decorrelated under adjacent user seeds.
-func deriveSeed(engine, stream string, seed int64) int64 {
+//
+// DeriveSeed is part of the distributed-search wire protocol: the fleet
+// coordinator derives per-shard seeds from it, so its exact outputs are
+// pinned by golden-vector tests and MUST NOT change across refactors.
+func DeriveSeed(engine, stream string, seed int64) int64 {
 	h := fnv.New64a()
 	io.WriteString(h, engine)
 	h.Write([]byte{0})

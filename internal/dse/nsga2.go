@@ -62,8 +62,8 @@ func (nsga2Engine) Run(ctx context.Context, m *Models, opt SearchOptions) (*pare
 		ests[i] = m.BatchEstimator()
 	}
 
-	initRng := rand.New(rand.NewSource(deriveSeed("nsga2", "init", opt.Seed)))
-	evoRng := rand.New(rand.NewSource(deriveSeed("nsga2", "evolve", opt.Seed)))
+	initRng := rand.New(rand.NewSource(DeriveSeed("nsga2", "init", opt.Seed)))
+	evoRng := rand.New(rand.NewSource(DeriveSeed("nsga2", "evolve", opt.Seed)))
 
 	var st nsga2Stats
 	defer st.flush()

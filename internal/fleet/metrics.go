@@ -1,0 +1,35 @@
+package fleet
+
+import (
+	"fmt"
+
+	"autoax/internal/obs"
+)
+
+// Fleet metrics.  Dispatch-level counters and the shard/merge latency
+// histograms are process-global; per-worker series are resolved lazily by
+// name (worker sets are small and stable for a coordinator's lifetime).
+var (
+	shardsDispatched = obs.Default().Counter("autoax_fleet_shards_dispatched_total")
+	shardsRetried    = obs.Default().Counter("autoax_fleet_shards_retried_total")
+	shardsReissued   = obs.Default().Counter("autoax_fleet_shards_reissued_total")
+	shardsFailed     = obs.Default().Counter("autoax_fleet_shard_failures_total")
+	shardLatency     = obs.Default().Histogram("autoax_fleet_shard_us", obs.DefaultLatencyBuckets)
+	mergeLatency     = obs.Default().Histogram("autoax_fleet_merge_us", obs.DefaultLatencyBuckets)
+)
+
+// workerMetrics holds one worker's labeled series, resolved once per
+// Search call so the dispatch loop touches only atomic adds.
+type workerMetrics struct {
+	inflight  *obs.Gauge   // shards currently executing on this worker
+	completed *obs.Counter // successful shard attempts
+	failures  *obs.Counter // failed shard attempts (incl. injected faults)
+}
+
+func metricsForWorker(name string) workerMetrics {
+	return workerMetrics{
+		inflight:  obs.Default().Gauge(fmt.Sprintf("autoax_fleet_worker_inflight{worker=%q}", name)),
+		completed: obs.Default().Counter(fmt.Sprintf("autoax_fleet_worker_shards_total{worker=%q}", name)),
+		failures:  obs.Default().Counter(fmt.Sprintf("autoax_fleet_worker_failures_total{worker=%q}", name)),
+	}
+}

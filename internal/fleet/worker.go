@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"autoax/internal/dse"
+)
+
+// Worker executes shards.  Implementations must honor the determinism
+// contract: RunShard's result is a pure function of the spec, so the
+// coordinator may freely retry, reissue, or duplicate a shard on any
+// worker.  RunShard must return a nil result with a non-nil error on any
+// failure, including context cancellation with a partial archive.
+type Worker interface {
+	// Name identifies the worker in logs, metrics, and fault injection
+	// (e.g. "local", "http://host:8080").
+	Name() string
+	// RunShard executes one shard to completion and returns its archive.
+	RunShard(ctx context.Context, spec ShardSpec) (*ShardResult, error)
+}
+
+// ErrUnknownLibrary is returned (possibly wrapped) when a shard names a
+// library hash the worker has never built — the coordinator-side signal
+// to warm the worker's cache before dispatching.
+var ErrUnknownLibrary = errors.New("fleet: unknown library hash")
+
+// ModelSource resolves a canonical library hash to the trained models a
+// shard runs over.  Resolution must be deterministic across workers —
+// the same hash yields models with identical predictions — which holds
+// by construction when models are rebuilt from content-addressed
+// artifacts with a fixed model seed.
+type ModelSource interface {
+	ModelsFor(ctx context.Context, libraryHash string) (*dse.Models, error)
+}
+
+// ModelSourceFunc adapts a function to the ModelSource interface.
+type ModelSourceFunc func(ctx context.Context, libraryHash string) (*dse.Models, error)
+
+// ModelsFor calls f.
+func (f ModelSourceFunc) ModelsFor(ctx context.Context, libraryHash string) (*dse.Models, error) {
+	return f(ctx, libraryHash)
+}
+
+// LocalWorker runs shards in-process against a ModelSource.  It is the
+// worker used by tests and single-machine fleets; sharing one *dse.Models
+// across LocalWorkers is safe (engines draw per-run estimators).
+type LocalWorker struct {
+	// ID is the worker name; empty means "local".
+	ID string
+	// Source resolves shard library hashes to models.
+	Source ModelSource
+}
+
+// Name implements Worker.
+func (w *LocalWorker) Name() string {
+	if w.ID == "" {
+		return "local"
+	}
+	return w.ID
+}
+
+// RunShard implements Worker: resolve the library, run the engine, and
+// return only the archive survivors.
+func (w *LocalWorker) RunShard(ctx context.Context, spec ShardSpec) (*ShardResult, error) {
+	spec, err := spec.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if w.Source == nil {
+		return nil, fmt.Errorf("fleet: LocalWorker %s has no model source", w.Name())
+	}
+	m, err := w.Source.ModelsFor(ctx, spec.LibraryHash)
+	if err != nil {
+		return nil, err
+	}
+	arch, err := dse.RunEngine(ctx, spec.Engine, m, dse.SearchOptions{
+		Evaluations: spec.Evaluations,
+		Stagnation:  spec.Stagnation,
+		Population:  spec.Population,
+		Seed:        spec.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ResultFromArchive(arch), nil
+}
