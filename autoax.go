@@ -102,6 +102,12 @@ type (
 	Result = accel.Result
 	// Evaluator performs precise QoR/hardware evaluation.
 	Evaluator = accel.Evaluator
+	// ProgramCacheConfig configures the evaluator's persistent
+	// compiled-program tier (directory, byte budget, TTL).
+	ProgramCacheConfig = accel.ProgramCacheConfig
+	// ProgramCacheStats reports compiled-program cache effectiveness,
+	// including the disk tier's hit/self-heal counters.
+	ProgramCacheStats = accel.ProgramCacheStats
 	// Pipeline runs the three-step autoAx methodology.
 	Pipeline = core.Pipeline
 	// Config sets the methodology budgets.
@@ -357,6 +363,13 @@ func NewGraph(name string) *Graph { return accel.NewGraph(name) }
 // NewEvaluator prepares precise evaluation of configurations for an app.
 func NewEvaluator(app *ImageApp, images []*Image) (*Evaluator, error) {
 	return accel.NewEvaluator(app, images)
+}
+
+// NewEvaluatorWithCache is NewEvaluator with a persistent compiled-
+// program tier: synthesized programs are written to cfg.Dir and decoded
+// by later evaluators over the same circuits instead of recompiled.
+func NewEvaluatorWithCache(app *ImageApp, images []*Image, cfg ProgramCacheConfig) (*Evaluator, error) {
+	return accel.NewEvaluatorWithCache(app, images, cfg)
 }
 
 // NewPipeline prepares a methodology run for an app.

@@ -121,6 +121,27 @@ func BenchmarkNetlistEvalBlock(b *testing.B) {
 	}
 }
 
+// BenchmarkNetlistEvalBlockWide measures the fused activity-free kernel:
+// netlist.WideBlockWords×64 vectors per call through the 3-input-fused
+// compiled Dadda multiplier — the sweep path acl.Characterize and the
+// evaluator's error pass run on (compare ns/vector against
+// BenchmarkNetlistEvalBlock's parity kernel).
+func BenchmarkNetlistEvalBlockWide(b *testing.B) {
+	nl := arith.NewDaddaMultiplier(8)
+	prog := netlist.CompileWith(nl, netlist.CompileOptions{NoActivity: true})
+	const W = netlist.WideBlockWords
+	in := make([]uint64, nl.NumInputs*W)
+	for i := range in {
+		in[i] = uint64(i) * 0x9E3779B97F4A7C15
+	}
+	scratch := make([]uint64, prog.NumSlots()*W)
+	out := make([]uint64, prog.NumOutputs()*W)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog.EvalBlock(in, W, scratch, out)
+	}
+}
+
 // BenchmarkSimplify measures the synthesis-style optimization pass on a
 // flattened Sobel accelerator (the per-configuration synthesis cost).
 func BenchmarkSimplify(b *testing.B) {
@@ -169,6 +190,41 @@ func BenchmarkPreciseEvaluation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ev.Evaluate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProgramDiskCacheWarm measures the warm-restart path of the
+// persistent compiled-program tier: each iteration stands up a fresh
+// Evaluator over a pre-populated cache directory (outside the timer) and
+// times serving the Sobel configuration's programs from disk instead of
+// re-running Flatten+Simplify+Compile (compare against
+// BenchmarkPreciseEvaluation's cold compile share).
+func BenchmarkProgramDiskCacheWarm(b *testing.B) {
+	app := apps.Sobel()
+	images := imagedata.BenchmarkSet(2, 64, 48, 1)
+	dir := b.TempDir()
+	cfg, err := accel.ExactConfiguration(app.Graph, acl.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm, err := accel.NewEvaluatorWithCache(app, images, accel.ProgramCacheConfig{Dir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := warm.Precompile(cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ev, err := accel.NewEvaluatorWithCache(app, images, accel.ProgramCacheConfig{Dir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := ev.Precompile(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

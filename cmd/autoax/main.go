@@ -196,6 +196,9 @@ func runServe(args []string) error {
 	cacheMemMB := fs.Int64("cache-mem-mb", 0, "in-memory artifact cache budget in MiB; LRU entries are evicted beyond it (0 = unbounded)")
 	cacheDiskMB := fs.Int64("cache-disk-mb", 0, "on-disk artifact cache budget in MiB; least-recently-used files are deleted beyond it (0 = unbounded; needs -cache-dir)")
 	cacheDiskTTL := fs.Duration("cache-disk-ttl", 0, "on-disk artifact expiry: cache files idle longer than this are deleted (0 = never; needs -cache-dir)")
+	progCacheDir := fs.String("progcache-dir", "", "directory persisting compiled accelerator programs across restarts (empty = memory only)")
+	progCacheMB := fs.Int64("progcache-mb", 0, "compiled-program directory budget in MiB; least-recently-used entries are deleted beyond it (0 = default 256 MiB; needs -progcache-dir)")
+	progCacheTTL := fs.Duration("progcache-ttl", 0, "compiled-program expiry: entries idle longer than this are deleted (0 = never; needs -progcache-dir)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060; empty = disabled)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
@@ -214,7 +217,11 @@ func runServe(args []string) error {
 		MemCacheBytes:   *cacheMemMB << 20,
 		DiskCacheBytes:  *cacheDiskMB << 20,
 		DiskCacheTTL:    *cacheDiskTTL,
-		Logger:          logger,
+		ProgramCacheDir: *progCacheDir,
+		// 0 MiB keeps the package default (accel.DefaultProgramDiskBytes).
+		ProgramCacheBytes: *progCacheMB << 20,
+		ProgramCacheTTL:   *progCacheTTL,
+		Logger:            logger,
 	})
 	if err != nil {
 		return err
@@ -705,7 +712,8 @@ commands:
   export <op>                           write the op's library circuits as
                                         structural Verilog (e.g. export mul8)
   serve [-addr :8080] [-workers N] [-cache-dir DIR] [-cache-mem-mb N]
-        [-cache-disk-mb N] [-cache-disk-ttl D] [-eval-parallel N]
+        [-cache-disk-mb N] [-cache-disk-ttl D] [-progcache-dir DIR]
+        [-progcache-mb N] [-progcache-ttl D] [-eval-parallel N]
         [-pprof ADDR] [-log-level L] [-log-format text|json]
                                         run the asynchronous HTTP job service
   version                               print the version

@@ -159,8 +159,12 @@ type Result struct {
 }
 
 // evalBlockWords is the packed block width of the precise evaluator:
-// every compiled-program pass evaluates evalBlockWords×64 pixels.
-const evalBlockWords = netlist.BlockWords
+// every compiled-program pass evaluates evalBlockWords×64 pixels.  The
+// simulation sweep runs the fused activity-free program, so it takes
+// the wide-kernel width; switching activity is measured separately on
+// 64-lane batches of the gate-slot-parity program, which is invariant
+// under this width.
+const evalBlockWords = netlist.WideBlockWords
 
 // evalShared is the Evaluator state that is immutable once NewEvaluator
 // returns: the compiled exact-model graph program, the exact reference
@@ -313,6 +317,33 @@ func NewEvaluator(app *ImageApp, images []*imagedata.Image) (*Evaluator, error) 
 	return e, nil
 }
 
+// NewEvaluatorWithCache is NewEvaluator with a persistent compiled-
+// program tier: synthesized artifacts are also written to cfg.Dir, and
+// a fresh evaluator (e.g. after a server restart) over the same
+// circuits decodes them instead of re-running Flatten+Simplify+Compile.
+// A zero-Dir config degrades to the in-memory cache only.
+func NewEvaluatorWithCache(app *ImageApp, images []*imagedata.Image, cfg ProgramCacheConfig) (*Evaluator, error) {
+	e, err := NewEvaluator(app, images)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Dir != "" {
+		disk, err := newProgDiskTier(cfg)
+		if err != nil {
+			return nil, err
+		}
+		e.shared.progs.disk = disk
+	}
+	return e, nil
+}
+
+// Precompile synthesizes (or loads from the persistent tier) cfg's
+// compiled artifact without evaluating it, warming both cache tiers.
+func (e *Evaluator) Precompile(cfg Configuration) error {
+	_, err := e.compiled(cfg)
+	return err
+}
+
 // Synthesize flattens and simplifies cfg's netlist: the accelerator-level
 // synthesis step.  It always synthesizes fresh; Evaluate goes through the
 // shared compiled-program cache instead.
@@ -345,7 +376,11 @@ func (e *Evaluator) compiled(cfg Configuration) (compiledConfig, error) {
 		if err != nil {
 			return compiledConfig{}, err
 		}
-		return compiledConfig{simp: simp, prog: netlist.Compile(simp)}, nil
+		return compiledConfig{
+			simp: simp,
+			prog: netlist.Compile(simp),
+			fast: netlist.CompileWith(simp, netlist.CompileOptions{NoActivity: true}),
+		}, nil
 	}
 	pc := e.shared.progs
 	if pc.limit() <= 0 {
@@ -361,26 +396,28 @@ func (e *Evaluator) compiled(cfg Configuration) (compiledConfig, error) {
 
 // Evaluate performs the full precise analysis of one configuration:
 // synthesis for hardware cost, then block-packed simulation of the
-// compiled program over every (simulation, image) pair for QoR —
-// evalBlockWords×64 pixels per instruction-decode pass.
+// fused activity-free program over every (simulation, image) pair for
+// QoR — evalBlockWords×64 pixels per instruction-decode pass.  The
+// switching-activity batches feed the separate gate-slot-parity
+// program, so power/energy stay bit-identical to per-gate analysis.
 func (e *Evaluator) Evaluate(cfg Configuration) (Result, error) {
 	art, err := e.compiled(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	simp, prog := art.simp, art.prog
+	simp, prog, fast := art.simp, art.prog, art.fast
 	const W = evalBlockWords
-	if len(e.progScratch) < prog.NumSlots()*W {
-		e.progScratch = make([]uint64, prog.NumSlots()*W)
+	if n := fast.NumSlots() * W; len(e.progScratch) < n {
+		e.progScratch = make([]uint64, n)
 	}
-	if len(e.progOut) < prog.NumOutputs()*W {
-		e.progOut = make([]uint64, prog.NumOutputs()*W)
+	if n := fast.NumOutputs() * W; len(e.progOut) < n {
+		e.progOut = make([]uint64, n)
 	}
 
 	sh := e.shared
 	headWords := sh.headBits * W
 	totalBits := len(e.inBuf) / W
-	outW := prog.NumOutputs()
+	outW := fast.NumOutputs()
 	var ssimTotal float64
 	var activity [][]uint64
 	var activityLanes []int
@@ -390,7 +427,7 @@ func (e *Evaluator) Evaluate(cfg Configuration) (Result, error) {
 			out := imagedata.New(im.W, im.H)
 			for b, plane := range sh.planes[ii] {
 				copy(e.inBuf[:headWords], plane)
-				res := prog.EvalBlock(e.inBuf, W, e.progScratch, e.progOut)
+				res := fast.EvalBlock(e.inBuf, W, e.progScratch, e.progOut)
 				lanes := sh.laneCount[ii][b]
 				netlist.UnpackBitsBlock(res, outW, W, lanes, e.outVals[:])
 				base := b * W * 64

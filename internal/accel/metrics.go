@@ -12,6 +12,14 @@ var (
 	progCoalesced = obs.Default().Counter("autoax_progcache_coalesced_total")
 	progEvictions = obs.Default().Counter("autoax_progcache_evictions_total")
 
+	// Persistent (disk) tier of the compiled-program cache.
+	progDiskHits      = obs.Default().Counter("autoax_progcache_disk_hits_total")
+	progDiskMisses    = obs.Default().Counter("autoax_progcache_disk_misses_total")
+	progDiskSelfHeals = obs.Default().Counter("autoax_progcache_disk_selfheals_total")
+	progDiskEvictions = obs.Default().Counter("autoax_progcache_disk_evictions_total")
+	progDiskExpired   = obs.Default().Counter("autoax_progcache_disk_expired_total")
+	progKeyEvictions  = obs.Default().Counter("autoax_progcache_key_evictions_total")
+
 	// progCompile records the wall time of each cache-miss build
 	// (Flatten+Simplify+Compile), the dominant cost the cache exists to
 	// avoid.

@@ -19,12 +19,16 @@ import (
 const DefaultProgramCacheEntries = 256
 
 // compiledConfig is one cached synthesis artifact: the simplified netlist
-// of a configuration and its compiled program.  Both are immutable after
-// construction and safe for concurrent use (programs take caller-owned
-// scratch), which is what lets every Evaluator clone share one cache.
+// of a configuration, its gate-slot-parity program (prog — the one
+// switching-activity analysis indexes by gate), and its fused
+// activity-free program (fast — the one simulation sweeps run).  All are
+// immutable after construction and safe for concurrent use (programs
+// take caller-owned scratch), which is what lets every Evaluator clone
+// share one cache.
 type compiledConfig struct {
 	simp *netlist.Netlist
 	prog *netlist.Program
+	fast *netlist.Program
 }
 
 // progFlight is one cache slot: done is closed when the leader finishes
@@ -50,25 +54,48 @@ type programCache struct {
 	entries map[string]*progFlight
 	lru     *list.List // of *progFlight, front = most recently used
 
+	// disk is the optional persistent tier: leaders probe it before
+	// building and write successful builds back.  Nil without a
+	// configured cache directory.
+	disk *progDiskTier
+
 	// circuitKeys memoizes acl.StructuralKey per circuit pointer: a DSE
 	// batch draws every configuration from one library, so each circuit
-	// is hashed once and then looked up by identity.
+	// is hashed once and then looked up by identity.  The memo is bounded
+	// by circuitKeyCap — circuits are library objects, but a server that
+	// cycles libraries would otherwise grow it without limit — and resets
+	// wholesale at the cap (re-hashing on demand is cheap relative to a
+	// leak).
 	circuitKeys map[*acl.Circuit]string
 
 	hits, misses, coalesced, evictions int64
+	diskHits, diskMisses, keyEvictions int64
 }
+
+// circuitKeyCap bounds the structural-key memo; see programCache.
+const circuitKeyCap = 4096
 
 // ProgramCacheStats reports the effectiveness of an evaluator's
 // compiled-program cache.  Every get counts exactly once: a hit (served
 // from a completed entry), a coalesced wait (shared a concurrent build's
-// successful result), or a miss (ran the build as leader) — so the miss
-// count equals the number of builds actually executed.
+// successful result), a disk hit (leader decoded a persisted artifact),
+// or a miss (ran the build as leader) — so the miss count equals the
+// number of builds actually executed, and a warm restart over a
+// populated cache directory reports Misses == 0.
 type ProgramCacheStats struct {
 	Hits      int64
 	Misses    int64
 	Coalesced int64
 	Evictions int64
 	Entries   int
+
+	// Disk tier (all zero without a configured directory).
+	DiskHits   int64 // leader gets served by decoding a persisted entry
+	DiskMisses int64 // leader probes found no (valid) entry
+	SelfHeals  int64 // corrupt/foreign entries deleted on probe
+	// KeyEvictions counts structural-key memo entries dropped at the
+	// circuitKeyCap bound.
+	KeyEvictions int64
 }
 
 func newProgramCache(capacity int) *programCache {
@@ -97,6 +124,12 @@ func (pc *programCache) configKey(cfg Configuration) string {
 		if !ok {
 			k = acl.StructuralKey(c)
 			pc.mu.Lock()
+			if len(pc.circuitKeys) >= circuitKeyCap {
+				dropped := int64(len(pc.circuitKeys))
+				pc.keyEvictions += dropped
+				pc.circuitKeys = make(map[*acl.Circuit]string)
+				progKeyEvictions.Add(dropped)
+			}
 			pc.circuitKeys[c] = k
 			pc.mu.Unlock()
 		}
@@ -137,21 +170,49 @@ func (pc *programCache) get(key string, build func() (compiledConfig, error)) (c
 		}
 		f := &progFlight{key: key, done: make(chan struct{})}
 		pc.entries[key] = f
-		pc.misses++
 		pc.mu.Unlock()
-		progMisses.Inc()
 
-		span := obs.Default().StartSpanIn(progCompile)
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					f.err = fmt.Errorf("accel: compiling configuration panicked: %v", r)
-				}
+		// Leader: serve from the persistent tier when possible; only a
+		// disk miss runs the build (and writes the result back), so the
+		// miss count stays exactly the number of builds executed.
+		fromDisk := false
+		if pc.disk != nil {
+			if art, ok := pc.disk.load(key); ok {
+				f.art = art
+				fromDisk = true
 				close(f.done)
+				pc.mu.Lock()
+				pc.diskHits++
+				pc.mu.Unlock()
+				progDiskHits.Inc()
+			} else {
+				pc.mu.Lock()
+				pc.diskMisses++
+				pc.mu.Unlock()
+				progDiskMisses.Inc()
+			}
+		}
+		if !fromDisk {
+			pc.mu.Lock()
+			pc.misses++
+			pc.mu.Unlock()
+			progMisses.Inc()
+
+			span := obs.Default().StartSpanIn(progCompile)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						f.err = fmt.Errorf("accel: compiling configuration panicked: %v", r)
+					}
+					close(f.done)
+				}()
+				f.art, f.err = build()
 			}()
-			f.art, f.err = build()
-		}()
-		span.Finish()
+			span.Finish()
+			if f.err == nil && pc.disk != nil {
+				pc.disk.store(key, f.art)
+			}
+		}
 
 		pc.mu.Lock()
 		evicted := 0
@@ -177,13 +238,20 @@ func (pc *programCache) get(key string, build func() (compiledConfig, error)) (c
 func (pc *programCache) stats() ProgramCacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
-	return ProgramCacheStats{
-		Hits:      pc.hits,
-		Misses:    pc.misses,
-		Coalesced: pc.coalesced,
-		Evictions: pc.evictions,
-		Entries:   pc.lru.Len(),
+	s := ProgramCacheStats{
+		Hits:         pc.hits,
+		Misses:       pc.misses,
+		Coalesced:    pc.coalesced,
+		Evictions:    pc.evictions,
+		Entries:      pc.lru.Len(),
+		DiskHits:     pc.diskHits,
+		DiskMisses:   pc.diskMisses,
+		KeyEvictions: pc.keyEvictions,
 	}
+	if pc.disk != nil {
+		s.SelfHeals = pc.disk.selfHeals.Load()
+	}
+	return s
 }
 
 // setLimit resizes the cache cap, evicting down immediately; n ≤ 0

@@ -66,15 +66,20 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 	simp.Name = nl.Name
 	c := &Circuit{Name: nl.Name, Op: op, Family: family, Netlist: simp}
 
-	// The sweep runs on the compiled program, W packed words (W×64 operand
-	// pairs) per instruction-decode pass.  Lane values, the output
-	// signature sequence and the captured activity batches are bit-
-	// identical to the historical one-word-at-a-time evaluation.
-	const W = netlist.BlockWords
+	// The sweep runs on the activity-free compiled program (instruction
+	// fusion licensed — switching activity is measured separately below
+	// on the gate-slot-parity program), W packed words (W×64 operand
+	// pairs) per wide-kernel instruction-decode pass.  Lane values, the
+	// output signature sequence and the captured activity batches are
+	// bit-identical to the historical one-word-at-a-time evaluation: the
+	// w-major signature fold and the per-64-lane activity extraction are
+	// both invariant under the block width.
+	const W = netlist.WideBlockWords
 	prog := netlist.Compile(simp)
+	fast := netlist.CompileWith(simp, netlist.CompileOptions{NoActivity: true})
 	outW := len(simp.Outputs)
 	planes := make([]uint64, (wa+wb)*W)
-	scratch := make([]uint64, prog.NumSlots()*W)
+	scratch := make([]uint64, fast.NumSlots()*W)
 	outBuf := make([]uint64, outW*W)
 	var avals, bvals, ovals [W * 64]uint64
 	exhaustive := wa+wb <= opts.ExhaustiveBits
@@ -110,15 +115,23 @@ func Characterize(nl *netlist.Netlist, op Op, family string, opts Options) (*Cir
 				avals[l] = idx >> uint(wb)
 				bvals[l] = idx & maskB
 			}
+			// The operand pair is one counter (a‖b), so its input planes
+			// have a closed form — no 64×64 transpose on the input side.
+			for j := 0; j < wa; j++ {
+				netlist.PackCounterBlock(base, uint(wb+j), lanes, planes[j*W:(j+1)*W])
+			}
+			for j := 0; j < wb; j++ {
+				netlist.PackCounterBlock(base, uint(j), lanes, planes[(wa+j)*W:(wa+j+1)*W])
+			}
 		} else {
 			for l := 0; l < lanes; l++ {
 				avals[l] = rng.Uint64() & maskA
 				bvals[l] = rng.Uint64() & maskB
 			}
+			netlist.PackBitsBlock(avals[:lanes], wa, W, planes[:wa*W])
+			netlist.PackBitsBlock(bvals[:lanes], wb, W, planes[wa*W:])
 		}
-		netlist.PackBitsBlock(avals[:lanes], wa, W, planes[:wa*W])
-		netlist.PackBitsBlock(bvals[:lanes], wb, W, planes[wa*W:])
-		out := prog.EvalBlock(planes, W, scratch, outBuf)
+		out := fast.EvalBlock(planes, W, scratch, outBuf)
 		for w := 0; w*64 < lanes; w++ {
 			for j := 0; j < outW; j++ {
 				sig = (sig ^ out[j*W+w]) * fnvPrime

@@ -318,6 +318,7 @@ func (s *Server) buildShardModels(ctx context.Context, req SearchShardRequest, a
 		TrainConfigs: req.TrainConfigs,
 		TestConfigs:  req.TestConfigs,
 		Parallelism:  s.evalParallelism(0),
+		ProgramCache: s.programCacheConfig(),
 		Seed:         req.Seed,
 		Engine:       spec,
 	})

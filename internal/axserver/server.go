@@ -76,6 +76,18 @@ type Options struct {
 	// long-lived fleet worker's artifact store cannot accumulate stale
 	// libraries forever.  0 disables expiry; ignored without a CacheDir.
 	DiskCacheTTL time.Duration
+	// ProgramCacheDir persists compiled accelerator programs (simplified
+	// netlist + instruction streams) across restarts: pipelines and
+	// shard-model builds decode previously synthesized configurations
+	// instead of recompiling them.  Empty keeps programs in memory only.
+	ProgramCacheDir string
+	// ProgramCacheBytes bounds the program directory's total bytes by
+	// LRU eviction; 0 means accel.DefaultProgramDiskBytes.  Ignored
+	// without a ProgramCacheDir.
+	ProgramCacheBytes int64
+	// ProgramCacheTTL deletes program entries idle longer than this
+	// (0 disables expiry).  Ignored without a ProgramCacheDir.
+	ProgramCacheTTL time.Duration
 	// Logger receives structured lifecycle events (job.accept, job.start,
 	// job.done, job.cancel, cache.selfheal).  nil discards them.
 	Logger *slog.Logger
@@ -121,6 +133,12 @@ func New(opts Options) (*Server, error) {
 	if opts.DiskCacheTTL < 0 {
 		return nil, fmt.Errorf("axserver: disk cache TTL must be non-negative, got %v", opts.DiskCacheTTL)
 	}
+	if opts.ProgramCacheBytes < 0 {
+		return nil, fmt.Errorf("axserver: program cache budget must be non-negative, got %d", opts.ProgramCacheBytes)
+	}
+	if opts.ProgramCacheTTL < 0 {
+		return nil, fmt.Errorf("axserver: program cache TTL must be non-negative, got %v", opts.ProgramCacheTTL)
+	}
 	cache, err := NewCacheTieredTTL(opts.CacheDir, opts.MemCacheBytes, opts.DiskCacheBytes, opts.DiskCacheTTL)
 	if err != nil {
 		return nil, err
@@ -154,6 +172,19 @@ func New(opts Options) (*Server, error) {
 		models:     make(map[string]*modelEntry),
 	}
 	return s, nil
+}
+
+// programCacheConfig maps the server's program-persistence options to
+// the evaluator's cache config (zero without a ProgramCacheDir).
+func (s *Server) programCacheConfig() accel.ProgramCacheConfig {
+	if s.opts.ProgramCacheDir == "" {
+		return accel.ProgramCacheConfig{}
+	}
+	return accel.ProgramCacheConfig{
+		Dir:      s.opts.ProgramCacheDir,
+		MaxBytes: s.opts.ProgramCacheBytes,
+		TTL:      s.opts.ProgramCacheTTL,
+	}
 }
 
 // Close cancels every job and waits for the workers to exit.
@@ -762,6 +793,7 @@ func (s *Server) computePipeline(ctx context.Context, req PipelineRequest, app *
 		SearchEngine: req.Search.Engine,
 		SearchSeed:   req.Search.Seed,
 		Parallelism:  s.evalParallelism(req.Parallelism),
+		ProgramCache: s.programCacheConfig(),
 		Seed:         req.Seed,
 		AutoEngine:   req.AutoEngine,
 		Engine:       spec,

@@ -64,6 +64,11 @@ type Config struct {
 	// re-evaluation).  0 means runtime.GOMAXPROCS, 1 forces the
 	// sequential path; results are identical either way.
 	Parallelism int
+	// ProgramCache configures the persistent compiled-program tier of
+	// the precise evaluator.  A zero value (no Dir) keeps the in-memory
+	// cache only; with a Dir, synthesized programs persist across runs
+	// and a restarted pipeline decodes them instead of recompiling.
+	ProgramCache accel.ProgramCacheConfig
 	// Seed drives every random choice.
 	Seed int64
 }
@@ -123,7 +128,7 @@ func NewPipeline(app *accel.ImageApp, lib *acl.Library, images []*imagedata.Imag
 	if _, err := dse.SearchEngineByName(opt.SearchEngine); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	ev, err := accel.NewEvaluator(app, images)
+	ev, err := accel.NewEvaluatorWithCache(app, images, opt.ProgramCache)
 	if err != nil {
 		return nil, err
 	}

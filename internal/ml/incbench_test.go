@@ -105,3 +105,25 @@ func BenchmarkPredictBatchVaried(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/point")
 }
+
+// BenchmarkPredictBatchWide drives the premapped 16-point register
+// walker on full chunks: a 256-point varied batch, every chunk taking
+// the walkChunk16 path (NSGA-II's generation-sized batch shape),
+// reported per point.
+func BenchmarkPredictBatchWide(b *testing.B) {
+	cf, _ := benchForest(b, 45, 15)
+	rng := rand.New(rand.NewSource(3))
+	const n = 256
+	x := make([]float64, 15*n)
+	for i := 0; i < n; i++ {
+		for f := 0; f < 15; f++ {
+			x[f*n+i] = rng.Float64() * 100
+		}
+	}
+	out := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf.PredictBatch(x, n, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/point")
+}

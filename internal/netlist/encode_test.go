@@ -1,0 +1,118 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEncodeRoundTrip pins the binary codecs: netlist and program (fused
+// and unfused) survive encode→decode with evaluation-identical results,
+// and chained encodings consume exactly their own bytes.
+func TestEncodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		n := randomNetlist(rng, 1+rng.Intn(8), rng.Intn(50))
+		for _, opts := range []CompileOptions{{}, {NoActivity: true}} {
+			p := CompileWith(n, opts)
+			buf := n.AppendBinary(nil)
+			buf = p.AppendBinary(buf)
+			buf = append(buf, 0xEE) // trailing byte must survive untouched
+
+			dn, rest, err := DecodeNetlist(buf)
+			if err != nil {
+				t.Fatalf("trial %d: DecodeNetlist: %v", trial, err)
+			}
+			dp, rest, err := DecodeProgram(rest)
+			if err != nil {
+				t.Fatalf("trial %d: DecodeProgram: %v", trial, err)
+			}
+			if len(rest) != 1 || rest[0] != 0xEE {
+				t.Fatalf("trial %d: codec consumed wrong byte count", trial)
+			}
+			if dn.Name != n.Name || dn.NumInputs != n.NumInputs || len(dn.Gates) != len(n.Gates) || len(dn.Outputs) != len(n.Outputs) {
+				t.Fatalf("trial %d: netlist shape drifted", trial)
+			}
+			if dp.Fused() != p.Fused() || dp.NumSlots() != p.NumSlots() || dp.NumGates() != p.NumGates() ||
+				dp.NumInputs() != p.NumInputs() || dp.NumOutputs() != p.NumOutputs() {
+				t.Fatalf("trial %d: program shape drifted", trial)
+			}
+			const W = WideBlockWords
+			in := make([]uint64, n.NumInputs*W)
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			want := p.EvalBlock(in, W, nil, nil)
+			got := dp.EvalBlock(in, W, nil, nil)
+			for j := range want {
+				if want[j] != got[j] {
+					t.Fatalf("trial %d: decoded program diverged at %d: %x vs %x", trial, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeProgramRejectsTruncation pins that every strict prefix of an
+// encoded program fails to decode (rather than yielding a program with
+// dangling state — the unsafe kernels depend on decode-time validation).
+func TestDecodeProgramRejectsTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	n := randomNetlist(rng, 5, 30)
+	p := CompileWith(n, CompileOptions{NoActivity: true})
+	buf := p.AppendBinary(nil)
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeProgram(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", cut, len(buf))
+		}
+	}
+	nb := n.AppendBinary(nil)
+	for cut := 0; cut < len(nb); cut++ {
+		if _, _, err := DecodeNetlist(nb[:cut]); err == nil {
+			t.Fatalf("netlist truncation to %d/%d bytes decoded successfully", cut, len(nb))
+		}
+	}
+}
+
+// TestDecodeProgramValidatesSlots corrupts encoded operand/destination
+// slots and opcodes; decode must reject anything that would break the
+// unchecked slot-access invariant, and must never panic on garbage.
+func TestDecodeProgramValidatesSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	n := randomNetlist(rng, 4, 20)
+	p := Compile(n)
+	buf := p.AppendBinary(nil)
+	for trial := 0; trial < 5000; trial++ {
+		mut := append([]byte(nil), buf...)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 + rng.Intn(255))
+		}
+		dp, _, err := DecodeProgram(mut)
+		if err != nil {
+			continue
+		}
+		// Whatever decoded must still be safe to run: every slot in
+		// range is exactly what DecodeProgram promises.
+		ns := dp.NumSlots()
+		for i := 0; i < len(dp.op); i++ {
+			if dp.op[i] >= opcodeCount ||
+				int(dp.a[i]) >= ns || int(dp.b[i]) >= ns || int(dp.c[i]) >= ns ||
+				int(dp.dst[i]) < dp.numInputs || int(dp.dst[i]) >= ns-2 {
+				t.Fatalf("trial %d: decode accepted unsafe instruction %d", trial, i)
+			}
+		}
+		for _, o := range dp.outs {
+			if int(o) >= ns {
+				t.Fatalf("trial %d: decode accepted unsafe output slot", trial)
+			}
+		}
+		in := make([]uint64, dp.NumInputs())
+		dp.Eval(in, nil, nil) // must not fault
+	}
+	// Pure garbage must never panic either.
+	for trial := 0; trial < 2000; trial++ {
+		g := make([]byte, rng.Intn(200))
+		rng.Read(g)
+		DecodeProgram(g)
+		DecodeNetlist(g)
+	}
+}

@@ -1,0 +1,171 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+
+	"autoax/internal/cell"
+)
+
+// rcAdder hand-builds an n-bit ripple-carry adder from classic full
+// adders (p = a⊕b; sum = p⊕cin; cout = (a∧b) ∨ (p∧cin)) — the gate-pair
+// shapes the fusion pass exists for.
+func rcAdder(n int) *Netlist {
+	nl := &Netlist{Name: "rca", NumInputs: 2 * n}
+	emit := func(k cell.Kind, a, b Signal) Signal {
+		nl.Gates = append(nl.Gates, Gate{Kind: k, A: a, B: b})
+		return Signal(nl.NumInputs + len(nl.Gates) - 1)
+	}
+	cin := Signal(Const0)
+	for i := 0; i < n; i++ {
+		a, b := Signal(i), Signal(n+i)
+		p := emit(cell.Xor2, a, b)
+		sum := emit(cell.Xor2, p, cin)
+		g := emit(cell.And2, a, b)
+		pc := emit(cell.And2, p, cin)
+		cout := emit(cell.Or2, g, pc)
+		nl.Outputs = append(nl.Outputs, sum)
+		cin = cout
+	}
+	nl.Outputs = append(nl.Outputs, cin)
+	return nl
+}
+
+// TestFusedMatchesInterpreter is the fusion parity property: on random
+// netlists (rails, Mux2, every cell kind), the activity-free program
+// must produce outputs bit-identical to the interpreter and to the
+// unfused program at every block width, while the unfused program keeps
+// its per-gate slot parity (the activity path) untouched.
+func TestFusedMatchesInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	widths := []int{1, 3, BlockWords, WideBlockWords, 2 * WideBlockWords}
+	for trial := 0; trial < 250; trial++ {
+		var n *Netlist
+		if trial%5 == 0 {
+			n = rcAdder(1 + rng.Intn(8))
+		} else {
+			n = randomNetlist(rng, 1+rng.Intn(8), rng.Intn(60))
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid netlist: %v", trial, err)
+		}
+		plain := Compile(n)
+		fused := CompileWith(n, CompileOptions{NoActivity: true})
+		if !fused.Fused() || plain.Fused() {
+			t.Fatalf("trial %d: Fused() flags wrong: plain=%v fused=%v", trial, plain.Fused(), fused.Fused())
+		}
+		if fused.NumGates() > plain.NumGates() {
+			t.Fatalf("trial %d: fusion grew the program: %d > %d", trial, fused.NumGates(), plain.NumGates())
+		}
+		if fused.NumSlots() != plain.NumSlots() {
+			t.Fatalf("trial %d: fusion changed NumSlots: %d != %d", trial, fused.NumSlots(), plain.NumSlots())
+		}
+		for _, W := range widths {
+			in := make([]uint64, n.NumInputs*W)
+			for i := range in {
+				in[i] = rng.Uint64()
+			}
+			want := plain.EvalBlock(in, W, nil, nil)
+			got := fused.EvalBlock(in, W, nil, nil)
+			interpVals := make([]uint64, n.NumNodes())
+			for w := 0; w < W; w++ {
+				word := make([]uint64, n.NumInputs)
+				for i := range word {
+					word[i] = in[i*W+w]
+				}
+				ref := n.Eval(word, interpVals, nil)
+				one := fused.Eval(word, nil, nil)
+				for j := range ref {
+					if got[j*W+w] != ref[j] || want[j*W+w] != ref[j] || one[j] != ref[j] {
+						t.Fatalf("trial %d W=%d: output %d word %d: interp %x plain %x fused-block %x fused-eval %x",
+							trial, W, j, w, ref[j], want[j*W+w], got[j*W+w], one[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFusionFiresOnAdder pins that the pass actually rewrites the
+// shapes it targets: on a ripple-carry adder the carry fold (And2 into
+// Or2) must fire at every bit, and the activity-free program must be
+// measurably shorter.
+func TestFusionFiresOnAdder(t *testing.T) {
+	n := rcAdder(8)
+	plain := Compile(n)
+	fused := CompileWith(n, CompileOptions{NoActivity: true})
+	// Per full adder, g = And2(a,b) is single-use into the carry Or2, so
+	// 5 gates must become at most 4 instructions.
+	if fused.NumGates() > plain.NumGates()-8 {
+		t.Fatalf("fusion too weak on 8-bit RCA: %d instructions, unfused %d", fused.NumGates(), plain.NumGates())
+	}
+	has := false
+	for _, op := range fused.op {
+		if op >= opXor3 {
+			has = true
+		}
+	}
+	if !has {
+		t.Fatalf("no fused opcode emitted for the RCA carry chain")
+	}
+}
+
+// TestFusionInvFold pins the Inv-folding rewrites: a single-use gate
+// followed by Inv collapses to the complemented opcode, and Inv∘Inv
+// cancels entirely.
+func TestFusionInvFold(t *testing.T) {
+	n := &Netlist{Name: "inv", NumInputs: 2}
+	n.Gates = []Gate{
+		{Kind: cell.And2, A: 0, B: 1}, // slot 2
+		{Kind: cell.Inv, A: 2},        // slot 3 → folds to Nand2
+		{Kind: cell.Inv, A: 3},        // slot 4 → Inv∘Inv? (3 is single-use)
+		{Kind: cell.Buf, A: 4},        // slot 5 → elided
+	}
+	n.Outputs = []Signal{5}
+	fused := CompileWith(n, CompileOptions{NoActivity: true})
+	// And2+Inv+Inv+Buf must collapse to a single instruction.
+	if fused.NumGates() != 1 {
+		t.Fatalf("inv/buf chain: got %d instructions, want 1 (ops %v)", fused.NumGates(), fused.op)
+	}
+	out := fused.Eval([]uint64{0xF0F0, 0xFF00}, nil, nil)
+	if out[0] != 0xF0F0&0xFF00 {
+		t.Fatalf("inv/buf chain misfolded: got %x want %x", out[0], 0xF0F0&0xFF00)
+	}
+}
+
+// TestCountGateOnesRejectsFused pins the guard that keeps activity-free
+// programs out of the switching-activity path.
+func TestCountGateOnesRejectsFused(t *testing.T) {
+	n := rcAdder(2)
+	fused := CompileWith(n, CompileOptions{NoActivity: true})
+	vals := make([]uint64, fused.NumSlots())
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("countGateOnes accepted a fused program")
+		}
+	}()
+	fused.countGateOnes(vals, ^uint64(0), make([]int64, 4))
+}
+
+// TestActivityUnchangedByFusionAvailability pins that compiling a fused
+// sibling leaves the activity analysis of the unfused program untouched.
+func TestActivityUnchangedByFusionAvailability(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := rcAdder(6)
+	batches := make([][]uint64, 8)
+	lanes := make([]int, 8)
+	for i := range batches {
+		b := make([]uint64, n.NumInputs)
+		for j := range b {
+			b[j] = rng.Uint64()
+		}
+		batches[i] = b
+		lanes[i] = 64
+	}
+	before := n.AnalyzeActivityProgram(Compile(n), batches, lanes)
+	_ = CompileWith(n, CompileOptions{NoActivity: true})
+	after := n.AnalyzeActivityProgram(Compile(n), batches, lanes)
+	if before != after {
+		t.Fatalf("activity analysis drifted: %+v vs %+v", before, after)
+	}
+}

@@ -74,6 +74,41 @@ func PackBitsBlock(vals []uint64, width, words int, dst []uint64) {
 	}
 }
 
+// counterPattern[j] is the bit-plane word of counter bit j over 64
+// consecutive lane values: bit k of the word is bit j of k.
+var counterPattern = [6]uint64{
+	0xAAAAAAAAAAAAAAAA,
+	0xCCCCCCCCCCCCCCCC,
+	0xF0F0F0F0F0F0F0F0,
+	0xFF00FF00FF00FF00,
+	0xFFFF0000FFFF0000,
+	0xFFFFFFFF00000000,
+}
+
+// PackCounterBlock fills one block bit-plane for a counter sweep: dst[w]
+// bit k receives bit `bit` of (base + w*64 + k), for lanes < lanes (lanes
+// beyond pack as zero, matching PackBitsBlock of an explicit value
+// slice).  base must be 64-aligned.  Exhaustive characterization sweeps
+// enumerate operand pairs as one counter, so their input planes have this
+// closed form — filling them directly replaces the 64×64 transpose of
+// PackBitsBlock, which otherwise dominates the sweep.
+func PackCounterBlock(base uint64, bit uint, lanes int, dst []uint64) {
+	for w := range dst {
+		var v uint64
+		if w*64 < lanes {
+			if bit < 6 {
+				v = counterPattern[bit]
+			} else if (base>>6+uint64(w))>>(bit-6)&1 != 0 {
+				v = ^uint64(0)
+			}
+			if rem := lanes - w*64; rem < 64 {
+				v &= uint64(1)<<uint(rem) - 1
+			}
+		}
+		dst[w] = v
+	}
+}
+
 // ExtractBlockWord copies word w of every bit-plane out of the block
 // layout (planes[k*words+w], as built by PackBitsBlock) into dst — one
 // 64-lane plane per operand bit, the historical single-word layout.

@@ -1,0 +1,35 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPackCounterBlockMatchesPackBitsBlock pins the closed-form counter
+// planes against the transpose path bit for bit, including partial final
+// words and zero-packed tail lanes.
+func TestPackCounterBlockMatchesPackBitsBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 400; trial++ {
+		W := 1 + rng.Intn(16)
+		width := 1 + rng.Intn(20)
+		base := uint64(rng.Intn(1<<12)) * 64
+		lanes := 1 + rng.Intn(W*64)
+		vals := make([]uint64, lanes)
+		for l := range vals {
+			vals[l] = base + uint64(l)
+		}
+		want := make([]uint64, width*W)
+		PackBitsBlock(vals, width, W, want)
+		got := make([]uint64, W)
+		for bit := 0; bit < width; bit++ {
+			PackCounterBlock(base, uint(bit), lanes, got)
+			for w := 0; w < W; w++ {
+				if got[w] != want[bit*W+w] {
+					t.Fatalf("trial %d: bit %d word %d: got %x want %x (base=%d lanes=%d W=%d)",
+						trial, bit, w, got[w], want[bit*W+w], base, lanes, W)
+				}
+			}
+		}
+	}
+}

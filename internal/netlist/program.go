@@ -27,7 +27,11 @@ func slotStore(base unsafe.Pointer, s uintptr, v uint64) {
 // mirrors the cell kinds plus the residual forms constant-operand folding
 // produces: a gate with a constant-rail operand always reduces to a
 // constant, a unary op, or a smaller binary op, so no instruction ever
-// carries a constant operand at run time.
+// carries a constant operand at run time.  The three-input forms past
+// opConst1 exist only in activity-free programs (CompileOptions
+// .NoActivity): the fusion pass merges a single-use gate into its
+// consumer, so e.g. a full adder's sum chain XOR(XOR(a,b),cin) becomes
+// one opXor3 instruction.
 type opcode uint8
 
 const (
@@ -44,18 +48,52 @@ const (
 	opOrN2
 	opConst0
 	opConst1
+
+	// Fused three-input forms: inner gate over (a, b), outer combines
+	// with c.  Emitted only by the activity-free fusion pass.
+	opXor3    // (a^b)^c  — full-adder sum chain
+	opXnor3   // ^((a^b)^c)
+	opAnd3    // (a&b)&c
+	opOr3     // (a|b)|c
+	opAndOr3  // (a&b)|c  — full-adder carry fold
+	opOrAnd3  // (a|b)&c
+	opXorAnd3 // (a^b)&c — carry propagate·cin
+	opXorOr3  // (a^b)|c
+	opAndXor3 // (a&b)^c
+
+	opcodeCount // sentinel: every valid opcode is < opcodeCount
 )
 
-// BlockWords is the block width consumers use with EvalBlock: 4 packed
-// words = 256 lanes per instruction-decode pass, the sweet spot between
-// dispatch amortization and scratch footprint (measured on the Dadda-8
-// multiplier and the flattened Sobel netlist).
+// BlockWords is the block width of the per-gate-parity consumers of
+// EvalBlock: 4 packed words = 256 lanes per instruction-decode pass.
 const BlockWords = 4
+
+// WideBlockWords is the block width of the activity-free hot paths
+// (characterization sweeps, precise QoR simulation): 8 packed words = 512
+// lanes per instruction-decode pass through the unrolled wide kernel.
+// EvalBlock takes the wide kernel for any multiple of 8 (16-word blocks
+// run the 8-word body twice per instruction), so callers with larger
+// batches can trade scratch footprint for even fewer decodes.
+const WideBlockWords = 8
+
+// CompileOptions selects the compilation mode of CompileWith.
+type CompileOptions struct {
+	// NoActivity drops the per-gate value-slot parity contract: the
+	// compiled program still produces bit-identical outputs, but
+	// intermediate gate values need not land in their Netlist.Eval slots.
+	// That licenses instruction fusion (three-input fused opcodes for
+	// single-use gate pairs, Inv folding into complemented forms) and
+	// dead-store elimination, cutting the instruction count of adder- and
+	// multiplier-shaped netlists by ~30–40%.  Programs compiled this way
+	// must not feed AnalyzeActivityProgram; compile without NoActivity
+	// (or use Compile) when switching activity is consumed.
+	NoActivity bool
+}
 
 // Program is a netlist lowered into a contiguous, constant-resolved
 // instruction stream for fast repeated simulation.  Opcodes and operand
-// slots are stored struct-of-arrays (four independent sequential streams
-// the hardware prefetcher tracks perfectly); constant rails — and gates
+// slots are stored struct-of-arrays (independent sequential streams the
+// hardware prefetcher tracks perfectly); constant rails — and gates
 // constant propagation proves constant — are folded into specialized
 // opcodes at compile time, so evaluation has no per-operand branches.
 //
@@ -63,16 +101,22 @@ const BlockWords = 4
 // as every goroutine supplies its own scratch and output buffers —
 // concurrent evaluators share one compiled program.
 //
-// Instruction i computes gate i of the source netlist and writes value
-// slot NumInputs+i, so per-gate values (needed by switching-activity
-// analysis) land exactly where Netlist.Eval puts them.  Two extra slots
-// past NumNodes hold the constant rails for pre-resolved constant outputs.
+// Without CompileOptions.NoActivity, instruction i computes gate i of the
+// source netlist and writes value slot NumInputs+i, so per-gate values
+// (needed by switching-activity analysis) land exactly where Netlist.Eval
+// puts them.  Activity-free programs carry explicit destination slots
+// instead (fusion elides instructions, so the stream is shorter than the
+// gate list); the slot *numbering* is unchanged either way, and two extra
+// slots past the source netlist's nodes hold the constant rails.
 type Program struct {
 	numInputs int
 	numOuts   int
+	numSlots  int  // scratch slots per word, rails included
+	fused     bool // activity-free: gate-slot parity not guaranteed
 
 	op      []opcode
 	a, b, c []int32 // operand slots; unused operands point at the zero rail
+	dst     []int32 // destination slots (numInputs+i unless fused)
 	outs    []int32 // pre-resolved output slots (may be the rail slots)
 }
 
@@ -82,16 +126,22 @@ func (p *Program) NumInputs() int { return p.numInputs }
 // NumOutputs returns the number of packed output words Eval produces.
 func (p *Program) NumOutputs() int { return p.numOuts }
 
-// NumGates returns the instruction count (one per source-netlist gate).
+// NumGates returns the instruction count: one per source-netlist gate,
+// fewer when the activity-free fusion pass merged or eliminated gates.
 func (p *Program) NumGates() int { return len(p.op) }
 
 // NumSlots returns the scratch length Eval needs per word: one slot per
-// node plus the two constant-rail slots.
-func (p *Program) NumSlots() int { return p.numInputs + len(p.op) + 2 }
+// source-netlist node plus the two constant-rail slots.
+func (p *Program) NumSlots() int { return p.numSlots }
+
+// Fused reports whether the program was compiled activity-free
+// (CompileOptions.NoActivity): outputs are bit-identical to the
+// interpreter, but per-gate value slots are not maintained.
+func (p *Program) Fused() bool { return p.fused }
 
 // rail0 and rail1 are the value slots holding the constant rails.
-func (p *Program) rail0() int32 { return int32(p.numInputs + len(p.op)) }
-func (p *Program) rail1() int32 { return int32(p.numInputs + len(p.op) + 1) }
+func (p *Program) rail0() int32 { return int32(p.numSlots - 2) }
+func (p *Program) rail1() int32 { return int32(p.numSlots - 1) }
 
 // operand is a compile-time resolved gate input: either a value slot or a
 // known constant.
@@ -143,13 +193,20 @@ var binaryOpcode = map[cell.Kind]opcode{
 // including gates constant propagation resolves (their constant is still
 // written each pass).
 func Compile(n *Netlist) *Program {
+	return CompileWith(n, CompileOptions{})
+}
+
+// CompileWith is Compile under explicit options; see CompileOptions.
+func CompileWith(n *Netlist, opts CompileOptions) *Program {
 	p := &Program{
 		numInputs: n.NumInputs,
 		numOuts:   len(n.Outputs),
+		numSlots:  n.NumInputs + len(n.Gates) + 2,
 		op:        make([]opcode, len(n.Gates)),
 		a:         make([]int32, len(n.Gates)),
 		b:         make([]int32, len(n.Gates)),
 		c:         make([]int32, len(n.Gates)),
+		dst:       make([]int32, len(n.Gates)),
 		outs:      make([]int32, len(n.Outputs)),
 	}
 	// konst tracks nodes proven constant at compile time (-1 unknown).
@@ -182,6 +239,7 @@ func Compile(n *Netlist) *Program {
 			code, oa, ob, oc = compileMux(oa, ob, oc)
 		}
 		p.op[i] = code
+		p.dst[i] = int32(base + i)
 		// Unused operand positions point at the zero rail so the uniform
 		// operand load in Eval is always in bounds.
 		p.a[i], p.b[i], p.c[i] = p.rail0(), p.rail0(), p.rail0()
@@ -200,6 +258,9 @@ func Compile(n *Netlist) *Program {
 	}
 	for i, o := range n.Outputs {
 		p.outs[i] = resolve(o).slot
+	}
+	if opts.NoActivity {
+		p.fuse()
 	}
 	return p
 }
@@ -323,11 +384,10 @@ func (p *Program) Eval(inputs []uint64, scratch []uint64, outBuf []uint64) []uin
 	vals[p.rail0()] = 0
 	vals[p.rail1()] = ^uint64(0)
 	vp := unsafe.Pointer(&vals[0]) // NumSlots ≥ 2: the rail slots exist
-	base := uintptr(p.numInputs)
 	code := p.op
 	// Re-slicing the operand streams to len(code) lets the compiler drop
 	// their per-iteration bounds checks.
-	pa, pb, pc := p.a[:len(code)], p.b[:len(code)], p.c[:len(code)]
+	pa, pb, pc, pd := p.a[:len(code)], p.b[:len(code)], p.c[:len(code)], p.dst[:len(code)]
 	for i := 0; i < len(code); i++ {
 		a := slotLoad(vp, uintptr(pa[i]))
 		var v uint64
@@ -358,8 +418,26 @@ func (p *Program) Eval(inputs []uint64, scratch []uint64, outBuf []uint64) []uin
 			v = 0
 		case opConst1:
 			v = ^uint64(0)
+		case opXor3:
+			v = a ^ slotLoad(vp, uintptr(pb[i])) ^ slotLoad(vp, uintptr(pc[i]))
+		case opXnor3:
+			v = ^(a ^ slotLoad(vp, uintptr(pb[i])) ^ slotLoad(vp, uintptr(pc[i])))
+		case opAnd3:
+			v = a & slotLoad(vp, uintptr(pb[i])) & slotLoad(vp, uintptr(pc[i]))
+		case opOr3:
+			v = a | slotLoad(vp, uintptr(pb[i])) | slotLoad(vp, uintptr(pc[i]))
+		case opAndOr3:
+			v = (a & slotLoad(vp, uintptr(pb[i]))) | slotLoad(vp, uintptr(pc[i]))
+		case opOrAnd3:
+			v = (a | slotLoad(vp, uintptr(pb[i]))) & slotLoad(vp, uintptr(pc[i]))
+		case opXorAnd3:
+			v = (a ^ slotLoad(vp, uintptr(pb[i]))) & slotLoad(vp, uintptr(pc[i]))
+		case opXorOr3:
+			v = (a ^ slotLoad(vp, uintptr(pb[i]))) | slotLoad(vp, uintptr(pc[i]))
+		case opAndXor3:
+			v = (a & slotLoad(vp, uintptr(pb[i]))) ^ slotLoad(vp, uintptr(pc[i]))
 		}
-		slotStore(vp, base+uintptr(i), v)
+		slotStore(vp, uintptr(pd[i]), v)
 	}
 	if cap(outBuf) < p.numOuts {
 		outBuf = make([]uint64, p.numOuts)
@@ -380,7 +458,8 @@ func (p *Program) Eval(inputs []uint64, scratch []uint64, outBuf []uint64) []uin
 // parallelism.  scratch, when non-nil and of length ≥ NumSlots()*words,
 // avoids an allocation; the returned slice aliases outBuf when it has
 // sufficient capacity.  Lane values equal Eval run word by word; words ==
-// BlockWords takes a fully unrolled fast path.
+// BlockWords takes a fully unrolled fast path and multiples of
+// WideBlockWords take the unrolled wide kernel.
 func (p *Program) EvalBlock(inputs []uint64, words int, scratch []uint64, outBuf []uint64) []uint64 {
 	if words <= 0 {
 		panic("netlist: Program.EvalBlock needs words >= 1")
@@ -400,9 +479,12 @@ func (p *Program) EvalBlock(inputs []uint64, words int, scratch []uint64, outBuf
 		vals[r0+k] = 0
 		vals[r1+k] = ^uint64(0)
 	}
-	if W == BlockWords {
+	switch {
+	case W == BlockWords:
 		p.evalBlock4(vals)
-	} else {
+	case W%WideBlockWords == 0:
+		p.evalBlockWide(vals, W)
+	default:
 		p.evalBlockN(vals, W)
 	}
 	if cap(outBuf) < p.numOuts*W {
@@ -423,9 +505,8 @@ func (p *Program) EvalBlock(inputs []uint64, words int, scratch []uint64, outBuf
 func (p *Program) evalBlock4(vals []uint64) {
 	const W = uintptr(BlockWords)
 	vp := unsafe.Pointer(&vals[0])
-	base := uintptr(p.numInputs)
 	code := p.op
-	pa, pb, pc := p.a[:len(code)], p.b[:len(code)], p.c[:len(code)]
+	pa, pb, pc, pd := p.a[:len(code)], p.b[:len(code)], p.c[:len(code)], p.dst[:len(code)]
 	for i := 0; i < len(code); i++ {
 		ao := uintptr(pa[i]) * W
 		bo := uintptr(pb[i]) * W
@@ -464,8 +545,31 @@ func (p *Program) evalBlock4(vals []uint64) {
 		case opConst1:
 			m := ^uint64(0)
 			v0, v1, v2, v3 = m, m, m, m
+		default:
+			co := uintptr(pc[i]) * W
+			c0, c1, c2, c3 := slotLoad(vp, co), slotLoad(vp, co+1), slotLoad(vp, co+2), slotLoad(vp, co+3)
+			switch code[i] {
+			case opXor3:
+				v0, v1, v2, v3 = a0^b0^c0, a1^b1^c1, a2^b2^c2, a3^b3^c3
+			case opXnor3:
+				v0, v1, v2, v3 = ^(a0 ^ b0 ^ c0), ^(a1 ^ b1 ^ c1), ^(a2 ^ b2 ^ c2), ^(a3 ^ b3 ^ c3)
+			case opAnd3:
+				v0, v1, v2, v3 = a0&b0&c0, a1&b1&c1, a2&b2&c2, a3&b3&c3
+			case opOr3:
+				v0, v1, v2, v3 = a0|b0|c0, a1|b1|c1, a2|b2|c2, a3|b3|c3
+			case opAndOr3:
+				v0, v1, v2, v3 = a0&b0|c0, a1&b1|c1, a2&b2|c2, a3&b3|c3
+			case opOrAnd3:
+				v0, v1, v2, v3 = (a0|b0)&c0, (a1|b1)&c1, (a2|b2)&c2, (a3|b3)&c3
+			case opXorAnd3:
+				v0, v1, v2, v3 = (a0^b0)&c0, (a1^b1)&c1, (a2^b2)&c2, (a3^b3)&c3
+			case opXorOr3:
+				v0, v1, v2, v3 = (a0^b0)|c0, (a1^b1)|c1, (a2^b2)|c2, (a3^b3)|c3
+			case opAndXor3:
+				v0, v1, v2, v3 = a0&b0^c0, a1&b1^c1, a2&b2^c2, a3&b3^c3
+			}
 		}
-		do := (base + uintptr(i)) * W
+		do := uintptr(pd[i]) * W
 		slotStore(vp, do, v0)
 		slotStore(vp, do+1, v1)
 		slotStore(vp, do+2, v2)
@@ -473,14 +577,124 @@ func (p *Program) evalBlock4(vals []uint64) {
 	}
 }
 
+// evalBlockWide is the unrolled wide instruction loop for W a multiple of
+// WideBlockWords: per instruction decode, the 8-word body runs W/8 times
+// over consecutive word groups.  Eight independent word operations per
+// group saturate the execution ports; at W=8 the inner loop collapses to
+// a single straight-line pass.  The slotLoad/slotStore invariant is
+// pinned by EvalBlock exactly as for the 4-word kernel.
+func (p *Program) evalBlockWide(vals []uint64, W int) {
+	vp := unsafe.Pointer(&vals[0])
+	wi := uintptr(W)
+	code := p.op
+	pa, pb, pc, pd := p.a[:len(code)], p.b[:len(code)], p.c[:len(code)], p.dst[:len(code)]
+	for i := 0; i < len(code); i++ {
+		ao := uintptr(pa[i]) * wi
+		bo := uintptr(pb[i]) * wi
+		co := uintptr(pc[i]) * wi
+		do := uintptr(pd[i]) * wi
+		op := code[i]
+		for g := uintptr(0); g < wi; g += WideBlockWords {
+			a0, a1, a2, a3 := slotLoad(vp, ao+g), slotLoad(vp, ao+g+1), slotLoad(vp, ao+g+2), slotLoad(vp, ao+g+3)
+			a4, a5, a6, a7 := slotLoad(vp, ao+g+4), slotLoad(vp, ao+g+5), slotLoad(vp, ao+g+6), slotLoad(vp, ao+g+7)
+			b0, b1, b2, b3 := slotLoad(vp, bo+g), slotLoad(vp, bo+g+1), slotLoad(vp, bo+g+2), slotLoad(vp, bo+g+3)
+			b4, b5, b6, b7 := slotLoad(vp, bo+g+4), slotLoad(vp, bo+g+5), slotLoad(vp, bo+g+6), slotLoad(vp, bo+g+7)
+			var v0, v1, v2, v3, v4, v5, v6, v7 uint64
+			switch op {
+			case opBuf:
+				v0, v1, v2, v3, v4, v5, v6, v7 = a0, a1, a2, a3, a4, a5, a6, a7
+			case opInv:
+				v0, v1, v2, v3, v4, v5, v6, v7 = ^a0, ^a1, ^a2, ^a3, ^a4, ^a5, ^a6, ^a7
+			case opAnd2:
+				v0, v1, v2, v3 = a0&b0, a1&b1, a2&b2, a3&b3
+				v4, v5, v6, v7 = a4&b4, a5&b5, a6&b6, a7&b7
+			case opOr2:
+				v0, v1, v2, v3 = a0|b0, a1|b1, a2|b2, a3|b3
+				v4, v5, v6, v7 = a4|b4, a5|b5, a6|b6, a7|b7
+			case opNand2:
+				v0, v1, v2, v3 = ^(a0 & b0), ^(a1 & b1), ^(a2 & b2), ^(a3 & b3)
+				v4, v5, v6, v7 = ^(a4 & b4), ^(a5 & b5), ^(a6 & b6), ^(a7 & b7)
+			case opNor2:
+				v0, v1, v2, v3 = ^(a0 | b0), ^(a1 | b1), ^(a2 | b2), ^(a3 | b3)
+				v4, v5, v6, v7 = ^(a4 | b4), ^(a5 | b5), ^(a6 | b6), ^(a7 | b7)
+			case opXor2:
+				v0, v1, v2, v3 = a0^b0, a1^b1, a2^b2, a3^b3
+				v4, v5, v6, v7 = a4^b4, a5^b5, a6^b6, a7^b7
+			case opXnor2:
+				v0, v1, v2, v3 = ^(a0 ^ b0), ^(a1 ^ b1), ^(a2 ^ b2), ^(a3 ^ b3)
+				v4, v5, v6, v7 = ^(a4 ^ b4), ^(a5 ^ b5), ^(a6 ^ b6), ^(a7 ^ b7)
+			case opMux2:
+				v0 = (b0 &^ a0) | (slotLoad(vp, co+g) & a0)
+				v1 = (b1 &^ a1) | (slotLoad(vp, co+g+1) & a1)
+				v2 = (b2 &^ a2) | (slotLoad(vp, co+g+2) & a2)
+				v3 = (b3 &^ a3) | (slotLoad(vp, co+g+3) & a3)
+				v4 = (b4 &^ a4) | (slotLoad(vp, co+g+4) & a4)
+				v5 = (b5 &^ a5) | (slotLoad(vp, co+g+5) & a5)
+				v6 = (b6 &^ a6) | (slotLoad(vp, co+g+6) & a6)
+				v7 = (b7 &^ a7) | (slotLoad(vp, co+g+7) & a7)
+			case opAndN2:
+				v0, v1, v2, v3 = a0&^b0, a1&^b1, a2&^b2, a3&^b3
+				v4, v5, v6, v7 = a4&^b4, a5&^b5, a6&^b6, a7&^b7
+			case opOrN2:
+				v0, v1, v2, v3 = a0|^b0, a1|^b1, a2|^b2, a3|^b3
+				v4, v5, v6, v7 = a4|^b4, a5|^b5, a6|^b6, a7|^b7
+			case opConst0:
+				// zero values already
+			case opConst1:
+				m := ^uint64(0)
+				v0, v1, v2, v3, v4, v5, v6, v7 = m, m, m, m, m, m, m, m
+			default:
+				c0, c1, c2, c3 := slotLoad(vp, co+g), slotLoad(vp, co+g+1), slotLoad(vp, co+g+2), slotLoad(vp, co+g+3)
+				c4, c5, c6, c7 := slotLoad(vp, co+g+4), slotLoad(vp, co+g+5), slotLoad(vp, co+g+6), slotLoad(vp, co+g+7)
+				switch op {
+				case opXor3:
+					v0, v1, v2, v3 = a0^b0^c0, a1^b1^c1, a2^b2^c2, a3^b3^c3
+					v4, v5, v6, v7 = a4^b4^c4, a5^b5^c5, a6^b6^c6, a7^b7^c7
+				case opXnor3:
+					v0, v1, v2, v3 = ^(a0 ^ b0 ^ c0), ^(a1 ^ b1 ^ c1), ^(a2 ^ b2 ^ c2), ^(a3 ^ b3 ^ c3)
+					v4, v5, v6, v7 = ^(a4 ^ b4 ^ c4), ^(a5 ^ b5 ^ c5), ^(a6 ^ b6 ^ c6), ^(a7 ^ b7 ^ c7)
+				case opAnd3:
+					v0, v1, v2, v3 = a0&b0&c0, a1&b1&c1, a2&b2&c2, a3&b3&c3
+					v4, v5, v6, v7 = a4&b4&c4, a5&b5&c5, a6&b6&c6, a7&b7&c7
+				case opOr3:
+					v0, v1, v2, v3 = a0|b0|c0, a1|b1|c1, a2|b2|c2, a3|b3|c3
+					v4, v5, v6, v7 = a4|b4|c4, a5|b5|c5, a6|b6|c6, a7|b7|c7
+				case opAndOr3:
+					v0, v1, v2, v3 = a0&b0|c0, a1&b1|c1, a2&b2|c2, a3&b3|c3
+					v4, v5, v6, v7 = a4&b4|c4, a5&b5|c5, a6&b6|c6, a7&b7|c7
+				case opOrAnd3:
+					v0, v1, v2, v3 = (a0|b0)&c0, (a1|b1)&c1, (a2|b2)&c2, (a3|b3)&c3
+					v4, v5, v6, v7 = (a4|b4)&c4, (a5|b5)&c5, (a6|b6)&c6, (a7|b7)&c7
+				case opXorAnd3:
+					v0, v1, v2, v3 = (a0^b0)&c0, (a1^b1)&c1, (a2^b2)&c2, (a3^b3)&c3
+					v4, v5, v6, v7 = (a4^b4)&c4, (a5^b5)&c5, (a6^b6)&c6, (a7^b7)&c7
+				case opXorOr3:
+					v0, v1, v2, v3 = (a0^b0)|c0, (a1^b1)|c1, (a2^b2)|c2, (a3^b3)|c3
+					v4, v5, v6, v7 = (a4^b4)|c4, (a5^b5)|c5, (a6^b6)|c6, (a7^b7)|c7
+				case opAndXor3:
+					v0, v1, v2, v3 = a0&b0^c0, a1&b1^c1, a2&b2^c2, a3&b3^c3
+					v4, v5, v6, v7 = a4&b4^c4, a5&b5^c5, a6&b6^c6, a7&b7^c7
+				}
+			}
+			slotStore(vp, do+g, v0)
+			slotStore(vp, do+g+1, v1)
+			slotStore(vp, do+g+2, v2)
+			slotStore(vp, do+g+3, v3)
+			slotStore(vp, do+g+4, v4)
+			slotStore(vp, do+g+5, v5)
+			slotStore(vp, do+g+6, v6)
+			slotStore(vp, do+g+7, v7)
+		}
+	}
+}
+
 // evalBlockN is the variable-width instruction loop.
 func (p *Program) evalBlockN(vals []uint64, W int) {
-	base := p.numInputs
-	code, pa, pb, pc := p.op, p.a, p.b, p.c
+	code, pa, pb, pc, pd := p.op, p.a, p.b, p.c, p.dst
 	for i := 0; i < len(code); i++ {
 		av := vals[int(pa[i])*W : int(pa[i])*W+W]
 		bv := vals[int(pb[i])*W : int(pb[i])*W+W]
-		dst := vals[(base+i)*W : (base+i)*W+W]
+		dst := vals[int(pd[i])*W : int(pd[i])*W+W]
 		av = av[:len(dst)]
 		bv = bv[:len(dst)]
 		switch code[i] {
@@ -536,14 +750,59 @@ func (p *Program) evalBlockN(vals []uint64, W int) {
 			for k := range dst {
 				dst[k] = ^uint64(0)
 			}
+		default:
+			cv := vals[int(pc[i])*W : int(pc[i])*W+W]
+			cv = cv[:len(dst)]
+			switch code[i] {
+			case opXor3:
+				for k := range dst {
+					dst[k] = av[k] ^ bv[k] ^ cv[k]
+				}
+			case opXnor3:
+				for k := range dst {
+					dst[k] = ^(av[k] ^ bv[k] ^ cv[k])
+				}
+			case opAnd3:
+				for k := range dst {
+					dst[k] = av[k] & bv[k] & cv[k]
+				}
+			case opOr3:
+				for k := range dst {
+					dst[k] = av[k] | bv[k] | cv[k]
+				}
+			case opAndOr3:
+				for k := range dst {
+					dst[k] = av[k]&bv[k] | cv[k]
+				}
+			case opOrAnd3:
+				for k := range dst {
+					dst[k] = (av[k] | bv[k]) & cv[k]
+				}
+			case opXorAnd3:
+				for k := range dst {
+					dst[k] = (av[k] ^ bv[k]) & cv[k]
+				}
+			case opXorOr3:
+				for k := range dst {
+					dst[k] = (av[k] ^ bv[k]) | cv[k]
+				}
+			case opAndXor3:
+				for k := range dst {
+					dst[k] = av[k]&bv[k] ^ cv[k]
+				}
+			}
 		}
 	}
 }
 
 // countGateOnes accumulates, per gate, the population count of the gate's
 // value under mask into ones.  vals must be the scratch of a preceding
-// Eval call on this program.
+// Eval call on this program, and the program must maintain gate-slot
+// parity — activity-free (fused) programs do not.
 func (p *Program) countGateOnes(vals []uint64, mask uint64, ones []int64) {
+	if p.fused {
+		panic("netlist: countGateOnes needs a gate-slot-parity program; compiled with NoActivity")
+	}
 	base := p.numInputs
 	for i := range ones {
 		ones[i] += int64(bits.OnesCount64(vals[base+i] & mask))

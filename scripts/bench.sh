@@ -22,8 +22,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-FILTER=${BENCH_FILTER:-'^(BenchmarkNetlistEval|BenchmarkNetlistEvalBlock|BenchmarkCharacterize|BenchmarkPreciseEvaluation|BenchmarkEvaluateAllCached|BenchmarkHillClimb1k|BenchmarkHillClimb1kObserved|BenchmarkNSGA2Gen1k|BenchmarkRandomSearch1k|BenchmarkModelEstimate|BenchmarkModelEstimateBatch|BenchmarkCompiledForestPredict|BenchmarkSSIM|BenchmarkSimplify|BenchmarkProfile|BenchmarkRandomForestFit|BenchmarkObsCounter|BenchmarkObsHistogram)$'}
+FILTER=${BENCH_FILTER:-'^(BenchmarkNetlistEval|BenchmarkNetlistEvalBlock|BenchmarkNetlistEvalBlockWide|BenchmarkCharacterize|BenchmarkPreciseEvaluation|BenchmarkEvaluateAllCached|BenchmarkProgramDiskCacheWarm|BenchmarkHillClimb1k|BenchmarkHillClimb1kObserved|BenchmarkNSGA2Gen1k|BenchmarkRandomSearch1k|BenchmarkModelEstimate|BenchmarkModelEstimateBatch|BenchmarkCompiledForestPredict|BenchmarkPredictVaried|BenchmarkPredictBatchVaried|BenchmarkPredictBatchWide|BenchmarkSSIM|BenchmarkSimplify|BenchmarkProfile|BenchmarkRandomForestFit|BenchmarkObsCounter|BenchmarkObsHistogram)$'}
 COUNT=${BENCH_COUNT:-3}
 
-go test -run '^$' -bench "$FILTER" -benchmem -count "$COUNT" . |
+# ./internal/ml carries the forest-walker benchmarks (PredictVaried,
+# PredictBatchVaried, PredictBatchWide); everything else lives in the
+# root package.
+go test -run '^$' -bench "$FILTER" -benchmem -count "$COUNT" . ./internal/ml |
 	go run ./scripts/benchjson "$@"

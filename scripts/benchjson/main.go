@@ -190,7 +190,14 @@ func checkRegression(cur, ref map[string]Metrics, maxRegress float64) error {
 		ratio := c.NsPerOp / r.NsPerOp
 		fmt.Fprintf(os.Stderr, "benchjson: %-28s %10.0f ns/op vs reference %10.0f (%.2f×)\n", name, c.NsPerOp, r.NsPerOp, ratio)
 		if ratio > maxRegress {
-			bad = append(bad, fmt.Sprintf("%s: %.0f ns/op is %.1f× the reference %.0f (limit %.3g×)", name, c.NsPerOp, ratio, r.NsPerOp, maxRegress))
+			// Print the offending row's full before/after metrics — when
+			// the gate trips in CI, the log is all the debugging surface
+			// anyone has.
+			bad = append(bad, fmt.Sprintf(
+				"%s: %.0f ns/op is %.1f× the reference %.0f (limit %.3g×)\n    current:   %10.0f ns/op %10.0f B/op %8.0f allocs/op\n    reference: %10.0f ns/op %10.0f B/op %8.0f allocs/op",
+				name, c.NsPerOp, ratio, r.NsPerOp, maxRegress,
+				c.NsPerOp, c.BPerOp, c.AllocsPerOp,
+				r.NsPerOp, r.BPerOp, r.AllocsPerOp))
 		}
 	}
 	if len(bad) > 0 {
