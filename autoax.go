@@ -171,10 +171,23 @@ type (
 	ServerCacheStats = axserver.CacheStats
 	// ServerCancelResponse is the DELETE /v1/jobs/{id} payload.
 	ServerCancelResponse = axserver.CancelResponse
+	// ServerJournalStats reports write-ahead job-journal activity
+	// (ServerStats.Journal; present when the server runs with a
+	// JournalDir).
+	ServerJournalStats = axserver.JournalStats
+	// ServerQueueFullError is the typed admission-control rejection the
+	// server returns past its queue bounds; the HTTP layer maps it to
+	// 429 queue_full with a Retry-After header.
+	ServerQueueFullError = axserver.QueueFullError
 	// ImageSpec describes a deterministic benchmark image set for server
 	// requests.
 	ImageSpec = axserver.ImageSpec
 )
+
+// ErrServerDraining rejects new work submitted to a server in
+// drain-then-stop shutdown (see Server.Drain); the HTTP layer maps it
+// to 503 with code "draining".
+var ErrServerDraining = axserver.ErrDraining
 
 // Re-exported client SDK (see axclient): a typed Go client for the job
 // service with backoff polling, transient-failure retry and typed result

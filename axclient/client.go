@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -72,11 +73,39 @@ func (c *Client) BaseURL() string { return c.baseURL }
 type APIError struct {
 	Status  int    // HTTP status code
 	Message string // server-provided error text
+	// Code is the machine-readable error class from the envelope, when
+	// the endpoint has a typed contract ("queue_full", "draining", the
+	// shard endpoint's codes).
+	Code string
+	// RetryAfter is the server's Retry-After suggestion (0 when absent
+	// or unparseable); the retry loop uses it as the backoff floor.
+	RetryAfter time.Duration
 }
 
 // Error implements the error interface.
 func (e *APIError) Error() string {
 	return fmt.Sprintf("axclient: server returned %d: %s", e.Status, e.Message)
+}
+
+// parseRetryAfter decodes a Retry-After header value: delta-seconds
+// ("120") or an HTTP-date.  Unparseable, negative or absent values
+// return 0.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // do issues one request and decodes a 2xx JSON response into out (when
@@ -119,13 +148,19 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 func apiError(resp *http.Response) *APIError {
 	var envelope struct {
 		Error string `json:"error"`
+		Code  string `json:"code"`
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
 	msg := strings.TrimSpace(string(raw))
 	if json.Unmarshal(raw, &envelope) == nil && envelope.Error != "" {
 		msg = envelope.Error
 	}
-	return &APIError{Status: resp.StatusCode, Message: msg}
+	return &APIError{
+		Status:     resp.StatusCode,
+		Message:    msg,
+		Code:       envelope.Code,
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+	}
 }
 
 // SubmitLibrary enqueues a content-addressed library build

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"net"
+	"net/http"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -148,6 +150,138 @@ func TestFleetOverHTTP(t *testing.T) {
 	got := fleet.ResultFromArchive(arch).Points
 	if !pointsEqual(got, want) {
 		t.Fatalf("fleet archive differs from the sequential merge: %d vs %d points", len(got), len(want))
+	}
+}
+
+// TestFleetWorkerRestartMidRun restarts one worker in the middle of a
+// fleet search: its process dies (HTTP front end and server torn down), a
+// fresh instance comes back on the same address with the same disk cache,
+// and the coordinator's retry loop carries the lost shard through.  The
+// merged archive must still equal the sequential reference — a worker
+// restart costs latency, never results.
+func TestFleetWorkerRestartMidRun(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	cA, _ := startService(t, axserver.Options{Workers: 2})
+
+	// Worker B lives on a manual listener so the test can bounce it on a
+	// fixed address, and keeps its disk cache across the restart so the
+	// fresh instance re-warms the library from disk.
+	cacheB := t.TempDir()
+	newB := func() (*axserver.Server, error) {
+		return axserver.New(axserver.Options{Workers: 2, CacheDir: cacheB})
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addrB := lnB.Addr().String()
+	sB, err := newB()
+	if err != nil {
+		t.Fatalf("axserver.New: %v", err)
+	}
+	hsB := &http.Server{Handler: sB.Handler()}
+	go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(hsB, lnB)
+	cB := axclient.New("http://" + addrB)
+
+	hashA := buildLibraryOn(t, ctx, cA)
+	hashB := buildLibraryOn(t, ctx, cB)
+	if hashA != hashB {
+		t.Fatalf("workers disagree on the library hash: %s vs %s", hashA, hashB)
+	}
+
+	specs, err := fleet.Partition(fleet.ShardSpec{
+		LibraryHash: hashA,
+		Engine:      "hillclimb",
+		Seed:        4,
+		Evaluations: 800,
+	}, 6)
+	if err != nil {
+		t.Fatalf("Partition: %v", err)
+	}
+
+	shCtx := shardContext()
+	var seq []*fleet.ShardResult
+	for _, spec := range specs {
+		req := shCtx
+		req.Version = fleet.ProtocolVersion
+		req.Shard = spec
+		resp, err := cA.SearchShard(ctx, req)
+		if err != nil {
+			t.Fatalf("sequential SearchShard: %v", err)
+		}
+		seq = append(seq, &fleet.ShardResult{Points: resp.Points})
+	}
+	want := fleet.ResultFromArchive(fleet.Merge(seq)).Points
+	if len(want) == 0 {
+		t.Fatal("sequential reference produced no archive survivors")
+	}
+
+	// restartB bounces worker B synchronously: the coordinator dispatches
+	// at most one shard per worker at a time, so B is idle when its
+	// FaultInject hook runs, and it is fully back up before the injected
+	// error even returns.
+	restartB := func() error {
+		_ = hsB.Close()
+		sB.Close()
+		var err error
+		for i := 0; ; i++ {
+			lnB, err = net.Listen("tcp", addrB)
+			if err == nil {
+				break
+			}
+			if i >= 200 {
+				return fmt.Errorf("rebind %s: %w", addrB, err)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if sB, err = newB(); err != nil {
+			return fmt.Errorf("restart worker B: %w", err)
+		}
+		hsB = &http.Server{Handler: sB.Handler()}
+		go func(hs *http.Server, ln net.Listener) { _ = hs.Serve(ln) }(hsB, lnB)
+		return nil
+	}
+	defer func() {
+		_ = hsB.Close()
+		sB.Close()
+	}()
+
+	wA := &axclient.ShardWorker{Client: cA, Context: shCtx}
+	wB := &axclient.ShardWorker{Client: cB, Context: shCtx}
+
+	var restarts int64
+	coord := &fleet.Coordinator{
+		Workers: []fleet.Worker{wA, wB},
+		Opts: fleet.Options{
+			Retries:           8,
+			RetryBackoff:      50 * time.Millisecond,
+			MaxWorkerFailures: -1, // the restarted B must keep pulling shards
+			FaultInject: func(worker string, shard, attempt int) error {
+				if worker == wB.Name() && atomic.AddInt64(&restarts, 1) == 1 {
+					if err := restartB(); err != nil {
+						return err
+					}
+					return fmt.Errorf("injected: worker %s restarted before shard %d", worker, shard)
+				}
+				return nil
+			},
+		},
+	}
+	arch, stats, err := coord.Search(ctx, specs)
+	if err != nil {
+		t.Fatalf("fleet Search across worker restart: %v", err)
+	}
+	if atomic.LoadInt64(&restarts) == 0 {
+		t.Fatal("worker B was never dispatched a shard; restart path untested")
+	}
+	if stats.Failures == 0 {
+		t.Errorf("restart fault was not injected: stats %+v", stats)
+	}
+	got := fleet.ResultFromArchive(arch).Points
+	if !pointsEqual(got, want) {
+		t.Fatalf("post-restart fleet archive differs from the sequential merge: %d vs %d points", len(got), len(want))
 	}
 }
 

@@ -1,0 +1,164 @@
+package axclient_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autoax/axclient"
+	"autoax/internal/axserver"
+)
+
+// TestWaitProgressAcrossRestart is the client half of the durability
+// contract: a poller blocked in Jobs.WaitProgress must ride out a full
+// server restart — the transient-error retry loop bridges the outage,
+// the journal replays the interrupted job under its original ID, and the
+// final result is bit-identical to an uninterrupted run.
+func TestWaitProgressAcrossRestart(t *testing.T) {
+	journalDir, cacheDir := t.TempDir(), t.TempDir()
+	newServer := func() *axserver.Server {
+		s, err := axserver.New(axserver.Options{Workers: 2, CacheDir: cacheDir, JournalDir: journalDir})
+		if err != nil {
+			t.Fatalf("axserver.New: %v", err)
+		}
+		return s
+	}
+	serve := func(s *axserver.Server, ln net.Listener) *http.Server {
+		hs := &http.Server{Handler: s.Handler()}
+		go func() { _ = hs.Serve(ln) }()
+		return hs
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	s1 := newServer()
+	hs1 := serve(s1, ln)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	// Sized so the job is still mid-pipeline when the plug is pulled: the
+	// poll loop below waits for real progress before crashing.
+	req := axserver.PipelineRequest{
+		App:          "sobel",
+		Library:      tinyLibrary(),
+		Images:       axserver.ImageSpec{Count: 2, Width: 32, Height: 24, Seed: 5},
+		TrainConfigs: 3000,
+		TestConfigs:  600,
+		SearchEvals:  500000,
+	}
+
+	// Control run on a pristine server: the reference for bit-identity.
+	ctrlClient, _ := startService(t, axserver.Options{Workers: 2})
+	ctrlJob, err := ctrlClient.SubmitPipeline(ctx, req)
+	if err != nil {
+		t.Fatalf("control SubmitPipeline: %v", err)
+	}
+
+	c := axclient.New("http://" + addr)
+	job, err := c.SubmitPipeline(ctx, req)
+	if err != nil {
+		t.Fatalf("SubmitPipeline: %v", err)
+	}
+
+	// The poller under test: runs across the restart, must only ever see
+	// its own job ID.
+	type outcome struct {
+		final axserver.JobInfo
+		err   error
+	}
+	waitCh := make(chan outcome, 1)
+	var polls, wrongID atomic.Int64
+	go func() {
+		final, err := c.Jobs.WaitProgress(ctx, job.ID, func(info axserver.JobInfo) {
+			polls.Add(1)
+			if info.ID != job.ID {
+				wrongID.Add(1)
+			}
+		})
+		waitCh <- outcome{final, err}
+	}()
+
+	// Wait for at least one stage to make measurable progress so the
+	// crash interrupts real work rather than a queued job.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		info, err := c.Jobs.Get(ctx, job.ID)
+		if err == nil && info.State == axserver.JobRunning && info.Stage != "" && info.Progress > 0 {
+			break
+		}
+		if info.State == axserver.JobSucceeded {
+			t.Skip("pipeline finished before the crash window; machine too fast for this sizing")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job never reached running-with-progress (last: %+v, err %v)", info, err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Crash: tear down the HTTP front end and the server. Close cancels
+	// the in-flight job; because the shutdown suppresses its done record,
+	// the journal still holds the submit and the job replays.
+	_ = hs1.Close()
+	s1.Close()
+
+	// Restart on the same address. The listener close races with the
+	// rebind, so retry briefly; the whole gap must stay inside the
+	// client's transient-retry window (~0.7s of backoff).
+	var ln2 net.Listener
+	for i := 0; ; i++ {
+		ln2, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if i >= 100 {
+			t.Fatalf("rebind %s: %v", addr, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	s2 := newServer()
+	hs2 := serve(s2, ln2)
+	defer func() {
+		_ = hs2.Close()
+		s2.Close()
+	}()
+
+	out := <-waitCh
+	if out.err != nil {
+		t.Fatalf("WaitProgress across restart: %v", out.err)
+	}
+	if out.final.ID != job.ID {
+		t.Fatalf("final job ID %s, want %s", out.final.ID, job.ID)
+	}
+	if out.final.State != axserver.JobSucceeded {
+		t.Fatalf("replayed job ended %s: %s", out.final.State, out.final.Error)
+	}
+	if !out.final.Replayed {
+		t.Errorf("final JobInfo not marked replayed")
+	}
+	if n := wrongID.Load(); n != 0 {
+		t.Errorf("%d polls observed a foreign job ID", n)
+	}
+	if polls.Load() == 0 {
+		t.Errorf("WaitProgress returned without a single poll callback")
+	}
+
+	ctrlFinal, err := ctrlClient.Jobs.Wait(ctx, ctrlJob.ID)
+	if err != nil {
+		t.Fatalf("control Wait: %v", err)
+	}
+	if ctrlFinal.State != axserver.JobSucceeded {
+		t.Fatalf("control job ended %s: %s", ctrlFinal.State, ctrlFinal.Error)
+	}
+	if !bytes.Equal(out.final.Result, ctrlFinal.Result) {
+		t.Fatalf("replayed result differs from uninterrupted control run:\n%s\nvs\n%s",
+			out.final.Result, ctrlFinal.Result)
+	}
+}

@@ -17,15 +17,22 @@ const (
 	retryAttempts  = 4
 	retryBaseDelay = 100 * time.Millisecond
 	retryMaxDelay  = time.Second
+	// retryAfterCap bounds how long a server-provided Retry-After may
+	// stretch one backoff wait; anything longer is the server's way of
+	// saying "come back much later", which a bounded retry loop should
+	// surface to the caller instead of sleeping through.
+	retryAfterCap = 30 * time.Second
 )
 
 // transientError reports whether an error is worth retrying: transport
 // failures where the server was never reached or the connection died
-// mid-flight (refused, reset, truncated body), and the gateway
+// mid-flight (refused, reset, truncated body), the gateway
 // unavailability statuses a restarting or shutting-down service returns
-// (502/503/504 — axserver itself answers 503 while draining).  Context
-// cancellation and every other 4xx/5xx are permanent from the client's
-// point of view and surface immediately.
+// (502/503/504 — axserver itself answers 503 while draining), and 429
+// admission-control rejections (queue full — the work is shed, not
+// refused, and the server's Retry-After names when to come back).
+// Context cancellation and every other 4xx/5xx are permanent from the
+// client's point of view and surface immediately.
 func transientError(err error) bool {
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false
@@ -33,7 +40,8 @@ func transientError(err error) bool {
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
 		switch apiErr.Status {
-		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		case http.StatusTooManyRequests,
+			http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			return true
 		}
 		return false
@@ -53,10 +61,18 @@ func (c *Client) doRetry(ctx context.Context, method, path string, body, out any
 	var err error
 	for attempt := 0; attempt < retryAttempts; attempt++ {
 		if attempt > 0 {
+			wait := delay
+			// A server-provided Retry-After (429 queue_full, 503) is the
+			// floor for this wait: backing off sooner would just burn an
+			// attempt on a queue known to still be full.
+			var apiErr *APIError
+			if errors.As(err, &apiErr) && apiErr.RetryAfter > wait {
+				wait = min(apiErr.RetryAfter, retryAfterCap)
+			}
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(delay):
+			case <-time.After(wait):
 			}
 			if delay *= 2; delay > retryMaxDelay {
 				delay = retryMaxDelay

@@ -120,6 +120,101 @@ func TestRetryRespectsContext(t *testing.T) {
 	}
 }
 
+// TestRetry429WithRetryAfterSeconds: a 429 queue_full rejection is
+// transient, and the Retry-After header (delta-seconds form) floors the
+// backoff — the client must not knock again before the server's
+// suggested time.
+func TestRetry429WithRetryAfterSeconds(t *testing.T) {
+	var calls int64
+	ok := jobJSON(t, axserver.JobInfo{ID: "job-9", State: axserver.JobQueued})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"queue full","code":"queue_full"}`))
+			return
+		}
+		ok(w, r)
+	}))
+	defer ts.Close()
+
+	c := axclient.New(ts.URL)
+	start := time.Now()
+	info, err := c.SubmitLibrary(context.Background(), axserver.LibraryRequest{})
+	if err != nil {
+		t.Fatalf("SubmitLibrary through a 429: %v", err)
+	}
+	if info.ID != "job-9" {
+		t.Fatalf("job ID %q, want job-9", info.ID)
+	}
+	if got := atomic.LoadInt64(&calls); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	// Default backoff after one failure is 100ms; Retry-After: 1 must
+	// stretch the wait to at least a second.
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("client retried after %v, before the server's Retry-After of 1s", elapsed)
+	}
+}
+
+// TestRetry429WithRetryAfterDate: the HTTP-date form of Retry-After is
+// honored the same way.
+func TestRetry429WithRetryAfterDate(t *testing.T) {
+	var calls int64
+	ok := jobJSON(t, axserver.JobInfo{ID: "job-10", State: axserver.JobQueued})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", time.Now().Add(1200*time.Millisecond).UTC().Format(http.TimeFormat))
+			http.Error(w, `{"error":"queue full","code":"queue_full"}`, http.StatusTooManyRequests)
+			return
+		}
+		ok(w, r)
+	}))
+	defer ts.Close()
+
+	c := axclient.New(ts.URL)
+	start := time.Now()
+	if _, err := c.SubmitLibrary(context.Background(), axserver.LibraryRequest{}); err != nil {
+		t.Fatalf("SubmitLibrary through a 429: %v", err)
+	}
+	// HTTP-date granularity is one second, so the floor is coarse: the
+	// wait must land well past the default 100ms backoff.
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("client retried after %v, ignoring the HTTP-date Retry-After", elapsed)
+	}
+}
+
+// TestRetryAfterSurfacesOnAPIError: when retries exhaust, the final
+// *APIError carries the parsed Retry-After and code so callers can
+// implement their own longer backoff.
+func TestRetryAfterSurfacesOnAPIError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, `{"error":"queue full","code":"queue_full"}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	// Bound the wall clock: cancel after the first rejection surfaces.
+	ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+	defer cancel()
+	c := axclient.New(ts.URL)
+	_, err := c.SubmitLibrary(ctx, axserver.LibraryRequest{})
+	var apiErr *axclient.APIError
+	if errors.As(err, &apiErr) {
+		if apiErr.Status != http.StatusTooManyRequests || apiErr.Code != "queue_full" {
+			t.Fatalf("APIError = %+v", apiErr)
+		}
+		if apiErr.RetryAfter != 7*time.Second {
+			t.Fatalf("RetryAfter = %v, want 7s", apiErr.RetryAfter)
+		}
+	} else if !errors.Is(err, context.DeadlineExceeded) {
+		// The retry loop may report the deadline instead of the last 429
+		// when the context expires mid-backoff; both are acceptable.
+		t.Fatalf("got %v, want *APIError or deadline", err)
+	}
+}
+
 // TestRetryConnectionRefused: a dead endpoint exhausts the retry budget
 // and surfaces the transport error rather than hanging.
 func TestRetryConnectionRefused(t *testing.T) {

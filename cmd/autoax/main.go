@@ -199,6 +199,10 @@ func runServe(args []string) error {
 	progCacheDir := fs.String("progcache-dir", "", "directory persisting compiled accelerator programs across restarts (empty = memory only)")
 	progCacheMB := fs.Int64("progcache-mb", 0, "compiled-program directory budget in MiB; least-recently-used entries are deleted beyond it (0 = default 256 MiB; needs -progcache-dir)")
 	progCacheTTL := fs.Duration("progcache-ttl", 0, "compiled-program expiry: entries idle longer than this are deleted (0 = never; needs -progcache-dir)")
+	journalDir := fs.String("journal-dir", "", "directory for the write-ahead job journal: accepted jobs survive a crash and replay on restart under their original IDs (empty = jobs die with the process)")
+	maxQueue := fs.Int("max-queue", 0, "admission bound on queued jobs; past it submissions get 429 queue_full with Retry-After (0 = unbounded)")
+	maxQueueMB := fs.Int64("max-queue-mb", 0, "admission byte budget in MiB for queued request payloads (0 = unbounded)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "on SIGTERM/SIGINT, how long to let in-flight jobs finish before cancelling them (queued jobs persist in the journal either way)")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address (e.g. localhost:6060; empty = disabled)")
 	logLevel := fs.String("log-level", "info", "log verbosity: debug, info, warn or error")
 	logFormat := fs.String("log-format", "text", "log output format: text or json")
@@ -221,6 +225,9 @@ func runServe(args []string) error {
 		// 0 MiB keeps the package default (accel.DefaultProgramDiskBytes).
 		ProgramCacheBytes: *progCacheMB << 20,
 		ProgramCacheTTL:   *progCacheTTL,
+		JournalDir:        *journalDir,
+		MaxQueue:          *maxQueue,
+		MaxQueueBytes:     *maxQueueMB << 20,
 		Logger:            logger,
 	})
 	if err != nil {
@@ -273,11 +280,21 @@ func runServe(args []string) error {
 	// Restore default signal handling immediately so a second SIGINT/
 	// SIGTERM force-quits instead of being swallowed during the drain.
 	stop()
-	logger.Info("server.shutdown")
+	logger.Info("server.shutdown", "drain_timeout", drainTimeout.String())
+	// Drain-then-stop: reject new work (healthz flips to "draining") but
+	// keep the HTTP listener up so pollers and the drain itself can
+	// finish; in-flight jobs get drain-timeout to complete before the
+	// base context cancels them.  Queued and cancelled-by-shutdown jobs
+	// persist in the journal and replay on the next boot.
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Warn("server.drain", "error", err.Error())
+	}
+	cancelDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	shutdownErr := httpSrv.Shutdown(shutdownCtx)
-	srv.Close() // cancels running jobs, waits for the workers
+	srv.Close() // cancels whatever outlived the drain, waits for the workers
 	if err := <-errCh; err != nil {
 		return err
 	}
@@ -714,7 +731,9 @@ commands:
   serve [-addr :8080] [-workers N] [-cache-dir DIR] [-cache-mem-mb N]
         [-cache-disk-mb N] [-cache-disk-ttl D] [-progcache-dir DIR]
         [-progcache-mb N] [-progcache-ttl D] [-eval-parallel N]
-        [-pprof ADDR] [-log-level L] [-log-format text|json]
+        [-journal-dir DIR] [-max-queue N] [-max-queue-mb N]
+        [-drain-timeout D] [-pprof ADDR] [-log-level L]
+        [-log-format text|json]
                                         run the asynchronous HTTP job service
   version                               print the version
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 
 	"autoax/internal/fleet"
 )
@@ -68,11 +70,26 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
 }
 
 // submitResponse accepts a job submission: 202 with the queued job info,
-// 503 when racing shutdown, 400 for invalid requests.
+// 429 queue_full with Retry-After when admission control sheds the
+// request, 503 draining while the server drains, 503 when racing
+// shutdown, 500 when the write-ahead journal append failed, 400 for
+// invalid requests.
 func submitResponse(w http.ResponseWriter, info JobInfo, err error) {
+	var full *QueueFullError
 	switch {
+	case errors.As(err, &full):
+		secs := int(full.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), Code: "queue_full"})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error(), Code: "draining"})
 	case errors.Is(err, ErrShuttingDown):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errJournal):
+		writeError(w, http.StatusInternalServerError, err)
 	case err != nil:
 		writeError(w, http.StatusBadRequest, err)
 	default:
@@ -158,7 +175,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz reports liveness and advertises the fleet shard protocol
 // version, so coordinators can verify worker capability before
-// dispatching a distributed search.
+// dispatching a distributed search.  A draining server still answers 200
+// (it is alive and finishing in-flight work) but reports "draining" so
+// load balancers stop routing new work to it.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthzResponse{Status: "ok", Shards: fleet.ProtocolVersion})
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, HealthzResponse{Status: status, Shards: fleet.ProtocolVersion})
 }

@@ -23,7 +23,11 @@ type Job struct {
 	// seq is the creation order, used (rather than the ID string, whose
 	// lexicographic order breaks past the zero padding) for list ordering
 	// and oldest-first eviction.
-	seq    int
+	seq int
+	// cost is the job's retained request-payload bytes, charged against
+	// the pool's byte budget while the job waits (guarded by the pool's
+	// mutex, not the manager's).
+	cost   int64
 	run    runFunc
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -90,6 +94,9 @@ type Manager struct {
 	// logger receives the job lifecycle events (job.start, job.done);
 	// never nil — NewManager installs a discard logger.
 	logger *slog.Logger
+	// onTerminal, when set, observes every job reaching a terminal state
+	// (the server's journal hook).  Called outside the manager lock.
+	onTerminal func(id string, state JobState)
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -153,6 +160,50 @@ func (m *Manager) Create(base context.Context, kind string, run runFunc) *Job {
 	m.mu.Unlock()
 	jobsSubmitted(kind).Inc()
 	m.logger.Info("job.accept", "job", j.info.ID, "kind", kind)
+	return j
+}
+
+// advanceSeq fast-forwards the ID sequence to at least n, so jobs
+// created after a journal recovery never reuse an ID the previous
+// incarnation already handed out.
+func (m *Manager) advanceSeq(n int) {
+	m.mu.Lock()
+	if n > m.seq {
+		m.seq = n
+	}
+	m.mu.Unlock()
+}
+
+// CreateReplay registers a journal-replayed job under its original
+// identity (ID, sequence, creation time), so pollers that watched the
+// job across the restart reconnect to the same resource.  The sequence
+// counter is fast-forwarded past seq.
+func (m *Manager) CreateReplay(base context.Context, id string, seq int, kind string, created time.Time, run runFunc) *Job {
+	ctx, cancel := context.WithCancel(base)
+	m.mu.Lock()
+	if seq > m.seq {
+		m.seq = seq
+	}
+	if created.IsZero() {
+		created = m.clock()
+	}
+	j := &Job{
+		info: JobInfo{
+			ID:       id,
+			Kind:     kind,
+			State:    JobQueued,
+			Created:  created,
+			Replayed: true,
+		},
+		seq:    seq,
+		run:    run,
+		cancel: cancel,
+		done:   make(chan struct{}),
+	}
+	j.ctx = withProgress(ctx, j.setProgress)
+	m.jobs[j.info.ID] = j
+	m.mu.Unlock()
+	m.logger.Info("job.replay", "job", id, "kind", kind)
 	return j
 }
 
@@ -230,6 +281,9 @@ func (m *Manager) Cancel(id string) (JobInfo, bool, bool) {
 		j.cancel()
 		jobsCompleted(JobCancelled).Inc()
 		m.logger.Info("job.cancel", "job", info.ID, "kind", info.Kind, "state", "queued")
+		if m.onTerminal != nil {
+			m.onTerminal(info.ID, JobCancelled)
+		}
 		return info, true, true
 	case JobRunning:
 		info := j.info
@@ -309,6 +363,9 @@ func (m *Manager) finish(j *Job, ctxErr error, result any, cached bool, err erro
 	m.mu.Unlock()
 	jobExec.ObserveDuration(exec)
 	jobsCompleted(state).Inc()
+	if m.onTerminal != nil {
+		m.onTerminal(id, state)
+	}
 	if errText != "" {
 		m.logger.Info("job.done", "job", id, "kind", kind, "state", string(state),
 			"exec_us", exec.Microseconds(), "error", errText)

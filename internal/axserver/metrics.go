@@ -26,6 +26,13 @@ func jobsCompleted(state JobState) *obs.Counter {
 	return obs.Default().Counter(fmt.Sprintf(`autoax_jobs_completed_total{state=%q}`, string(state)))
 }
 
+// jobsRejected counts admission-control rejections by reason:
+// queue_full (bounds exceeded), draining (drain-then-stop shutdown),
+// unavailable (pool closed).
+func jobsRejected(reason string) *obs.Counter {
+	return obs.Default().Counter(fmt.Sprintf(`autoax_jobs_rejected_total{reason=%q}`, reason))
+}
+
 // statusWriter captures the response status for the per-route counters.
 type statusWriter struct {
 	http.ResponseWriter
@@ -76,7 +83,20 @@ func (s *Server) metricsSnapshot() obs.Snapshot {
 	snap.Gauges["autoax_cache_entries"] = float64(cs.Entries)
 	snap.Gauges["autoax_cache_mem_bytes"] = float64(cs.MemBytes)
 	snap.Gauges["autoax_queue_len"] = float64(s.pool.QueueLen())
+	snap.Gauges["autoax_queue_bytes"] = float64(s.pool.QueueBytes())
 	snap.Gauges["autoax_workers"] = float64(s.pool.Workers())
+	if s.draining.Load() {
+		snap.Gauges["autoax_draining"] = 1
+	} else {
+		snap.Gauges["autoax_draining"] = 0
+	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		snap.Counters["autoax_journal_appended_total"] = js.Appended
+		snap.Counters["autoax_journal_completed_total"] = js.Completed
+		snap.Counters["autoax_journal_replayed_total"] = js.Replayed
+		snap.Counters["autoax_journal_selfheals_total"] = js.SelfHeals
+	}
 	for state, n := range s.manager.Counts() {
 		snap.Gauges[fmt.Sprintf(`autoax_jobs{state=%q}`, string(state))] = float64(n)
 	}

@@ -2,6 +2,7 @@ package axserver
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -137,6 +138,141 @@ func TestPoolClose(t *testing.T) {
 	if p.Submit(late) {
 		t.Fatal("submit accepted after Close")
 	}
+}
+
+// TestPoolBoundedAdmission checks the Reserve/Enqueue admission path:
+// the job-count bound and byte budget shed with typed QueueFullError,
+// reservations count against the bounds, and byte accounting tracks the
+// queue exactly.
+func TestPoolBoundedAdmission(t *testing.T) {
+	m := NewManager()
+	p := NewPoolBounded(m, 1, 2, 100)
+	defer p.Close()
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	blocker := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		close(started)
+		<-release
+		return nil, false, nil
+	})
+	if err := p.Reserve(10); err != nil {
+		t.Fatalf("Reserve blocker: %v", err)
+	}
+	if !p.Enqueue(blocker, 10) {
+		t.Fatal("Enqueue blocker rejected")
+	}
+	<-started // blocker occupies the only worker; queue is empty again
+
+	// Two queued jobs fit the count bound of 2.
+	for i := 0; i < 2; i++ {
+		if err := p.Reserve(40); err != nil {
+			t.Fatalf("Reserve %d: %v", i, err)
+		}
+		j := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+			return nil, false, nil
+		})
+		if !p.Enqueue(j, 40) {
+			t.Fatalf("Enqueue %d rejected", i)
+		}
+	}
+	if got := p.QueueLen(); got != 2 {
+		t.Fatalf("QueueLen = %d, want 2", got)
+	}
+	if got := p.QueueBytes(); got != 80 {
+		t.Fatalf("QueueBytes = %d, want 80", got)
+	}
+
+	// The third hits the count bound with a typed error.
+	err := p.Reserve(1)
+	var full *QueueFullError
+	if !errors.As(err, &full) {
+		t.Fatalf("Reserve past count bound: %v, want *QueueFullError", err)
+	}
+	if full.QueueLen != 2 || full.QueueBytes != 80 || full.RetryAfter < time.Second {
+		t.Fatalf("rejection snapshot %+v", full)
+	}
+
+	// Byte budget: a reservation holds its slot until Enqueue/Release.
+	m2 := NewManager()
+	p2 := NewPoolBounded(m2, 1, 0, 100)
+	defer p2.Close()
+	blocker2 := make(chan struct{})
+	started2 := make(chan struct{})
+	b2 := m2.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		close(started2)
+		<-blocker2
+		return nil, false, nil
+	})
+	if err := p2.Reserve(0); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	p2.Enqueue(b2, 0)
+	<-started2
+	if err := p2.Reserve(60); err != nil {
+		t.Fatalf("Reserve 60: %v", err)
+	}
+	if err := p2.Reserve(60); !errors.As(err, &full) {
+		t.Fatalf("Reserve past byte budget with pending reservation: %v", err)
+	}
+	p2.Release(60)
+	// An oversized request on an otherwise empty queue is still admitted
+	// (degrades to serialized execution, never rejected forever).
+	if err := p2.Reserve(500); err != nil {
+		t.Fatalf("oversized Reserve on empty queue: %v", err)
+	}
+	p2.Release(500)
+	close(blocker2)
+	close(release)
+}
+
+// TestPoolDrainLeavesQueue checks BeginDrain stops workers without
+// popping queued jobs (they persist for journal replay), while Close
+// after an ordinary run still drains the queue (TestPoolClose).
+func TestPoolDrainLeavesQueue(t *testing.T) {
+	m := NewManager()
+	p := NewPool(m, 1)
+
+	release := make(chan struct{})
+	started := make(chan struct{})
+	running := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		close(started)
+		<-release
+		return "done", false, nil
+	})
+	p.Submit(running)
+	<-started
+	queued := m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		return nil, false, nil
+	})
+	p.Submit(queued)
+
+	p.BeginDrain()
+	if p.Submit(m.Create(context.Background(), "test", func(ctx context.Context) (any, bool, error) {
+		return nil, false, nil
+	})) {
+		t.Fatal("Submit accepted while draining")
+	}
+	if err := p.Reserve(0); err == nil {
+		t.Fatal("Reserve succeeded while draining")
+	}
+	close(release)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := p.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v", err)
+	}
+	// The in-flight job finished; the queued one was deliberately left.
+	if info, _ := m.Get(running.ID()); info.State != JobSucceeded {
+		t.Fatalf("running job ended as %s", info.State)
+	}
+	if info, _ := m.Get(queued.ID()); info.State != JobQueued {
+		t.Fatalf("queued job state %s after drain, want queued", info.State)
+	}
+	if got := p.QueueLen(); got != 1 {
+		t.Fatalf("QueueLen after drain = %d, want 1", got)
+	}
+	p.Close()
 }
 
 // TestPoolRecoversPanic checks a panicking job becomes a failed job

@@ -21,6 +21,9 @@ const (
 	codeInvalidBudget  = "invalid_budget"
 	codeUnknownLibrary = "unknown_library"
 	codeBadRequest     = "bad_request"
+	// codeDraining rejects new shards during drain-then-stop shutdown; a
+	// coordinator treats the 503 as transient and retries elsewhere.
+	codeDraining = "draining"
 )
 
 // SearchShardRequest is the wire form of POST /v1/search/shards — one
@@ -134,6 +137,10 @@ func (s *Server) handleSearchShard(w http.ResponseWriter, r *http.Request) {
 // runSearchShard validates and executes one shard.
 func (s *Server) runSearchShard(ctx context.Context, req SearchShardRequest) (SearchShardResponse, *shardError) {
 	var zero SearchShardResponse
+	if s.draining.Load() {
+		return zero, shardErr(http.StatusServiceUnavailable, codeDraining,
+			"server is draining; dispatch this shard to another worker")
+	}
 	if req.Version != fleet.ProtocolVersion {
 		return zero, shardErr(http.StatusBadRequest, codeBadVersion,
 			"unsupported shard protocol version %d (this server speaks %d)",

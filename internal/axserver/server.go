@@ -88,6 +88,19 @@ type Options struct {
 	// ProgramCacheTTL deletes program entries idle longer than this
 	// (0 disables expiry).  Ignored without a ProgramCacheDir.
 	ProgramCacheTTL time.Duration
+	// JournalDir enables the write-ahead job journal: accepted jobs are
+	// recorded durably before they are enqueued, and a server restarted
+	// over the same directory replays every job that had not reached a
+	// terminal state — in submission order, under the original job IDs.
+	// Empty disables the journal (jobs die with the process).
+	JournalDir string
+	// MaxQueue bounds the jobs waiting for a worker; past it new
+	// submissions are rejected with a typed QueueFullError (HTTP 429
+	// with Retry-After).  0 keeps the queue unbounded.
+	MaxQueue int
+	// MaxQueueBytes bounds the request-payload bytes retained by waiting
+	// jobs the same way.  0 keeps the budget unbounded.
+	MaxQueueBytes int64
 	// Logger receives structured lifecycle events (job.accept, job.start,
 	// job.done, job.cancel, cache.selfheal).  nil discards them.
 	Logger *slog.Logger
@@ -106,6 +119,16 @@ type Server struct {
 	base       context.Context
 	cancelBase context.CancelFunc
 	started    time.Time
+
+	// journal is the write-ahead job log (nil without a JournalDir).
+	journal *journal
+	// draining marks the load-shedding phase: new submissions and shard
+	// requests are rejected while in-flight jobs run to completion.
+	draining atomic.Bool
+	// stopping marks Close in progress; jobs force-cancelled by the
+	// shutdown keep their journal records incomplete (they replay on the
+	// next boot) instead of being journaled as user cancellations.
+	stopping atomic.Bool
 
 	// Fleet shard execution (POST /v1/search/shards): shardSem bounds
 	// concurrent synchronous shard runs to the worker-pool size, and
@@ -149,6 +172,12 @@ func New(opts Options) (*Server, error) {
 	if opts.EvalParallelism < 0 {
 		return nil, fmt.Errorf("axserver: eval parallelism must be non-negative, got %d", opts.EvalParallelism)
 	}
+	if opts.MaxQueue < 0 {
+		return nil, fmt.Errorf("axserver: max queue must be non-negative, got %d", opts.MaxQueue)
+	}
+	if opts.MaxQueueBytes < 0 {
+		return nil, fmt.Errorf("axserver: max queue bytes must be non-negative, got %d", opts.MaxQueueBytes)
+	}
 	logger := opts.Logger
 	if logger == nil {
 		logger = slog.New(slog.DiscardHandler)
@@ -163,7 +192,7 @@ func New(opts Options) (*Server, error) {
 		opts:       opts,
 		cache:      cache,
 		manager:    manager,
-		pool:       NewPool(manager, opts.Workers),
+		pool:       NewPoolBounded(manager, opts.Workers, opts.MaxQueue, opts.MaxQueueBytes),
 		logger:     logger,
 		base:       base,
 		cancelBase: cancel,
@@ -171,7 +200,88 @@ func New(opts Options) (*Server, error) {
 		shardSem:   make(chan struct{}, opts.Workers),
 		models:     make(map[string]*modelEntry),
 	}
+	if opts.JournalDir != "" {
+		jr, incomplete, maxSeq, err := openJournal(opts.JournalDir)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.journal = jr
+		// The terminal hook must be installed before any replayed job can
+		// finish, or its completion record would be lost.
+		manager.onTerminal = s.journalTerminal
+		manager.advanceSeq(maxSeq)
+		if heals := jr.selfHeals.Load(); heals > 0 {
+			logger.Warn("journal.selfheal", "records", heals)
+		}
+		for _, rec := range incomplete {
+			s.replay(rec)
+		}
+		if n := len(incomplete); n > 0 {
+			logger.Info("journal.replay", "jobs", n)
+		}
+	}
 	return s, nil
+}
+
+// journalTerminal is the manager's terminal-state hook: every finished
+// job writes a completion record so it is not replayed after a restart.
+// Cancellations during Close are deliberately NOT recorded — those jobs
+// were aborted by the shutdown, not resolved, and must replay on the
+// next boot.
+func (s *Server) journalTerminal(id string, state JobState) {
+	if s.journal == nil {
+		return
+	}
+	if state == JobCancelled && s.stopping.Load() {
+		return
+	}
+	if err := s.journal.appendDone(id, state); err != nil {
+		s.logger.Warn("journal.done", "job", id, "error", err.Error())
+	}
+}
+
+// replay re-enqueues one incomplete journaled job under its original
+// identity.  A record whose request no longer validates (a codec or
+// validation change across versions) surfaces as a failed job rather
+// than silently disappearing.
+func (s *Server) replay(rec journalRecord) {
+	run, err := s.runForRequest(rec.Kind, rec.Req)
+	if err != nil {
+		replayErr := fmt.Errorf("replaying journaled %s job: %w", rec.Kind, err)
+		run = func(context.Context) (any, bool, error) { return nil, false, replayErr }
+	}
+	j := s.manager.CreateReplay(s.base, rec.ID, rec.Seq, rec.Kind, rec.Created, run)
+	s.pool.EnqueueReplay(j, int64(len(rec.Req)))
+	s.journal.replayed.Add(1)
+}
+
+// runForRequest rebuilds a job's runFunc from its journaled kind and raw
+// request, re-validating through the same factories live submissions
+// use.
+func (s *Server) runForRequest(kind string, raw []byte) (runFunc, error) {
+	switch kind {
+	case "library":
+		var req LibraryRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return s.libraryRun(req)
+	case "evaluate":
+		var req EvaluateRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return s.evaluateRun(req)
+	case "pipeline":
+		var req PipelineRequest
+		if err := json.Unmarshal(raw, &req); err != nil {
+			return nil, err
+		}
+		return s.pipelineRun(req)
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", kind)
+	}
 }
 
 // programCacheConfig maps the server's program-persistence options to
@@ -187,25 +297,63 @@ func (s *Server) programCacheConfig() accel.ProgramCacheConfig {
 	}
 }
 
-// Close cancels every job and waits for the workers to exit.
+// Close cancels every job and waits for the workers to exit.  With a
+// journal, jobs aborted by the shutdown (running or still queued) keep
+// their records incomplete and replay on the next boot.
 func (s *Server) Close() {
+	s.stopping.Store(true)
 	s.cancelBase()
 	s.pool.Close()
+	if s.journal != nil {
+		s.journal.close()
+	}
 }
+
+// BeginDrain switches the server into load shedding: new submissions
+// and shard requests are rejected (503, healthz reports "draining"),
+// workers finish their current job and stop picking up queued ones.
+// With a journal the queued jobs persist for the next boot; job polling
+// stays available throughout so clients observe final states.
+func (s *Server) BeginDrain() {
+	if !s.draining.CompareAndSwap(false, true) {
+		return
+	}
+	s.pool.BeginDrain()
+	s.logger.Info("server.draining")
+}
+
+// Drain begins draining (if not already begun) and waits until every
+// in-flight job has finished or ctx expires.  On expiry the caller
+// typically proceeds to Close, which cancels the survivors — with a
+// journal they checkpoint as incomplete and replay on the next boot.
+func (s *Server) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	return s.pool.WaitIdle(ctx)
+}
+
+// Draining reports whether the server is in its load-shedding phase.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // CacheStats returns the artifact cache counters.
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
 // Stats returns a service-health snapshot.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Workers:       s.pool.Workers(),
 		QueueLen:      s.pool.QueueLen(),
+		QueueBytes:    s.pool.QueueBytes(),
+		Draining:      s.draining.Load(),
 		Jobs:          s.manager.Counts(),
 		Cache:         s.cache.Stats(),
 		UptimeSec:     time.Since(s.started).Seconds(),
 		ShardProtocol: fleet.ProtocolVersion,
 	}
+	if s.journal != nil {
+		js := s.journal.Stats()
+		st.Journal = &js
+	}
+	return st
 }
 
 // ErrShuttingDown is returned by submissions racing Server.Close; the HTTP
@@ -213,13 +361,58 @@ func (s *Server) Stats() Stats {
 // invalid.
 var ErrShuttingDown = errors.New("axserver: server is shut down")
 
-// submit registers and enqueues a job.
-func (s *Server) submit(kind string, run runFunc) (JobInfo, error) {
+// ErrDraining is returned by submissions while the server sheds load
+// ahead of a shutdown; the HTTP layer maps it to 503 with a "draining"
+// code so clients fail over to another node.
+var ErrDraining = errors.New("axserver: server is draining")
+
+// errJournal marks a submission rejected because its write-ahead record
+// could not be written durably — a server-side fault (500), not a
+// client error: accepting the job anyway would break the crash-recovery
+// promise.
+var errJournal = errors.New("axserver: job journal write failed")
+
+// submit admits, journals and enqueues a job.  The admission slot is
+// reserved before the job exists (so a rejected burst never creates
+// phantom jobs), the journal record is written before the job becomes
+// runnable (write-ahead), and only then does the job enter the queue.
+func (s *Server) submit(kind string, req any, run runFunc) (JobInfo, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return JobInfo{}, fmt.Errorf("axserver: encoding %s request: %w", kind, err)
+	}
+	if s.draining.Load() {
+		jobsRejected("draining").Inc()
+		return JobInfo{}, ErrDraining
+	}
+	cost := int64(len(payload))
+	if err := s.pool.Reserve(cost); err != nil {
+		var full *QueueFullError
+		if errors.As(err, &full) {
+			jobsRejected("queue_full").Inc()
+			s.logger.Warn("job.reject", "kind", kind, "reason", "queue_full",
+				"queue_len", full.QueueLen, "queue_bytes", full.QueueBytes)
+		} else {
+			jobsRejected("unavailable").Inc()
+		}
+		return JobInfo{}, err
+	}
 	j := s.manager.Create(s.base, kind, run)
-	if !s.pool.Submit(j) {
+	if s.journal != nil {
+		if err := s.journal.appendSubmit(j.seq, j.ID(), kind, j.info.Created, payload); err != nil {
+			s.pool.Release(cost)
+			s.manager.Cancel(j.ID())
+			s.logger.Error("journal.submit", "job", j.ID(), "error", err.Error())
+			return JobInfo{}, fmt.Errorf("%w: %v", errJournal, err)
+		}
+	}
+	if !s.pool.Enqueue(j, cost) {
 		// Never executed: cancel so it doesn't linger as a phantom
 		// queued job.
 		s.manager.Cancel(j.ID())
+		if s.draining.Load() {
+			return JobInfo{}, ErrDraining
+		}
 		return JobInfo{}, ErrShuttingDown
 	}
 	info, _ := s.manager.Get(j.ID())
@@ -384,12 +577,13 @@ func (s *Server) LibraryBytes(key string) ([]byte, bool) {
 	return s.cache.Get(libraryKeyspace + key)
 }
 
-// SubmitLibrary enqueues a library-build job.
-func (s *Server) SubmitLibrary(req LibraryRequest) (JobInfo, error) {
+// libraryRun validates a library request and returns its runFunc — the
+// shared factory behind live submissions and journal replay.
+func (s *Server) libraryRun(req LibraryRequest) (runFunc, error) {
 	if _, err := req.Key(); err != nil { // validate before queueing
-		return JobInfo{}, err
+		return nil, err
 	}
-	return s.submit("library", func(ctx context.Context) (any, bool, error) {
+	return func(ctx context.Context) (any, bool, error) {
 		lib, key, cached, err := s.resolveLibrary(ctx, req)
 		if err != nil {
 			return nil, false, err
@@ -399,7 +593,16 @@ func (s *Server) SubmitLibrary(req LibraryRequest) (JobInfo, error) {
 			ops[op] = len(cs)
 		}
 		return LibraryResult{Key: key, Size: lib.Size(), Ops: ops}, cached, nil
-	})
+	}, nil
+}
+
+// SubmitLibrary enqueues a library-build job.
+func (s *Server) SubmitLibrary(req LibraryRequest) (JobInfo, error) {
+	run, err := s.libraryRun(req)
+	if err != nil {
+		return JobInfo{}, err
+	}
+	return s.submit("library", req, run)
 }
 
 // appBuilders is the single registry of case-study accelerators: the app-
@@ -515,34 +718,44 @@ func buildImages(spec ImageSpec) ([]*imagedata.Image, error) {
 // are split across jobs (which then interleave fairly in the FIFO queue).
 const maxEvalConfigs = 10000
 
-// SubmitEvaluate enqueues a precise-evaluation job.
-func (s *Server) SubmitEvaluate(req EvaluateRequest) (JobInfo, error) {
+// evaluateRun validates an evaluate request and returns its runFunc —
+// the shared factory behind live submissions and journal replay.
+func (s *Server) evaluateRun(req EvaluateRequest) (runFunc, error) {
 	if err := validateKernels(req.Kernels); err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	app, err := req.resolveApp()
 	if err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	if _, err := req.Library.Key(); err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	if err := validateImages(req.Images); err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	if len(req.Configs) == 0 {
-		return JobInfo{}, fmt.Errorf("evaluate request needs at least one configuration")
+		return nil, fmt.Errorf("evaluate request needs at least one configuration")
 	}
 	if len(req.Configs) > maxEvalConfigs {
-		return JobInfo{}, fmt.Errorf("evaluate request carries %d configurations, limit is %d per job",
+		return nil, fmt.Errorf("evaluate request carries %d configurations, limit is %d per job",
 			len(req.Configs), maxEvalConfigs)
 	}
 	if err := validateParallelism(req.Parallelism); err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (any, bool, error) {
+		return s.runEvaluate(ctx, req, app)
+	}, nil
+}
+
+// SubmitEvaluate enqueues a precise-evaluation job.
+func (s *Server) SubmitEvaluate(req EvaluateRequest) (JobInfo, error) {
+	run, err := s.evaluateRun(req)
+	if err != nil {
 		return JobInfo{}, err
 	}
-	return s.submit("evaluate", func(ctx context.Context) (any, bool, error) {
-		return s.runEvaluate(ctx, req, app)
-	})
+	return s.submit("evaluate", req, run)
 }
 
 // cachedArtifact is the shared content-addressed execution protocol: the
@@ -719,35 +932,45 @@ func evaluateKey(req EvaluateRequest, app *accel.ImageApp) (string, error) {
 	return requestKey(libKey, app.CanonicalHash(), canon)
 }
 
-// SubmitPipeline enqueues a full methodology run.
-func (s *Server) SubmitPipeline(req PipelineRequest) (JobInfo, error) {
+// pipelineRun validates a pipeline request and returns its runFunc —
+// the shared factory behind live submissions and journal replay.
+func (s *Server) pipelineRun(req PipelineRequest) (runFunc, error) {
 	if err := validateKernels(req.Kernels); err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	app, err := req.resolveApp()
 	if err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	if req.Engine != "" {
 		if _, err := ml.EngineByName(req.Engine); err != nil {
-			return JobInfo{}, err
+			return nil, err
 		}
 	}
 	if _, err := dse.SearchEngineByName(req.Search.Engine); err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	if err := validateImages(req.Images); err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	if err := validateParallelism(req.Parallelism); err != nil {
-		return JobInfo{}, err
+		return nil, err
 	}
 	if _, err := pipelineKey(req, app); err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context) (any, bool, error) {
+		return s.runPipeline(ctx, req, app)
+	}, nil
+}
+
+// SubmitPipeline enqueues a full methodology run.
+func (s *Server) SubmitPipeline(req PipelineRequest) (JobInfo, error) {
+	run, err := s.pipelineRun(req)
+	if err != nil {
 		return JobInfo{}, err
 	}
-	return s.submit("pipeline", func(ctx context.Context) (any, bool, error) {
-		return s.runPipeline(ctx, req, app)
-	})
+	return s.submit("pipeline", req, run)
 }
 
 // runPipeline executes a pipeline job, serving identical repeated requests

@@ -261,6 +261,10 @@ type JobInfo struct {
 	// Result is the kind-specific payload (LibraryResult, EvaluateResult
 	// or PipelineResult), present once State is "succeeded".
 	Result json.RawMessage `json:"result,omitempty"`
+	// Replayed marks a job restored from the write-ahead journal after a
+	// restart: same ID, same request, and — through the content-addressed
+	// cache — the same result bytes an uninterrupted run would produce.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // CancelResponse is the payload of a successful DELETE /v1/jobs/{id}.
@@ -312,20 +316,32 @@ type CacheStats struct {
 
 // Stats is the payload of GET /v1/stats.
 type Stats struct {
-	Workers   int              `json:"workers"`
-	QueueLen  int              `json:"queueLen"`
-	Jobs      map[JobState]int `json:"jobs"`
-	Cache     CacheStats       `json:"cache"`
-	UptimeSec float64          `json:"uptimeSec"`
+	Workers  int `json:"workers"`
+	QueueLen int `json:"queueLen"`
+	// QueueBytes is the request-payload bytes retained by queued jobs —
+	// the figure the byte-budget admission bound sheds against.
+	QueueBytes int64            `json:"queueBytes"`
+	Jobs       map[JobState]int `json:"jobs"`
+	Cache      CacheStats       `json:"cache"`
+	UptimeSec  float64          `json:"uptimeSec"`
 	// ShardProtocol is the fleet shard protocol version this server
 	// speaks on POST /v1/search/shards.
 	ShardProtocol int `json:"shardProtocol"`
+	// Draining reports a server in drain-then-stop shutdown: new work is
+	// rejected, in-flight jobs run to completion, queued jobs persist in
+	// the journal for the next boot.
+	Draining bool `json:"draining,omitempty"`
+	// Journal reports write-ahead journal activity (nil without a
+	// journal directory).
+	Journal *JournalStats `json:"journal,omitempty"`
 }
 
 // HealthzResponse is the payload of GET /v1/healthz.  Shards advertises
 // the fleet shard protocol version this server speaks (0 would mean no
 // shard support), so coordinators can check worker capability before
-// dispatching a distributed search.
+// dispatching a distributed search.  Status is "ok" while serving and
+// "draining" during drain-then-stop shutdown (load balancers should stop
+// routing new work to a draining node).
 type HealthzResponse struct {
 	Status string `json:"status"`
 	Shards int    `json:"shards"`
